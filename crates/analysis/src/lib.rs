@@ -1,0 +1,36 @@
+//! Statistics, parallel trial sweeps, and power-law fits for
+//! network-constructor experiments.
+//!
+//! The paper proves asymptotic Θ/Ω/O bounds on expected convergence time
+//! under the uniform random scheduler. This crate provides the empirical
+//! counterpart used by the benchmark harness:
+//!
+//! * [`stats`] — summary statistics with confidence intervals;
+//! * [`sweep`] — run a seeded workload for many trials across a ladder of
+//!   population sizes, in parallel (crossbeam scoped threads);
+//! * [`fit`] — least-squares log–log fits to estimate the polynomial
+//!   exponent of a measured time curve, with and without a `log n`
+//!   correction term.
+//!
+//! The crate is deliberately independent of the model crates: a workload
+//! is just a function from `(n, seed)` to a measured value.
+//!
+//! # Example
+//!
+//! ```
+//! use netcon_analysis::{fit::fit_power_law, sweep::{sweep, SweepConfig}};
+//!
+//! // A synthetic "protocol" whose expected time is exactly n².
+//! let cfg = SweepConfig { sizes: vec![16, 32, 64], trials: 8, base_seed: 1 };
+//! let table = sweep(&cfg, |n, _seed| (n * n) as f64);
+//! let fit = fit_power_law(&table.points());
+//! assert!((fit.exponent - 2.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod stats;
+pub mod sweep;
+pub mod table;

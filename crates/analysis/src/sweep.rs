@@ -1,0 +1,176 @@
+//! Parallel trial sweeps over a ladder of population sizes.
+
+use crate::stats::Summary;
+
+/// Configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Population sizes to measure.
+    pub sizes: Vec<usize>,
+    /// Trials per size.
+    pub trials: usize,
+    /// Base seed; trial `t` of size `n` uses a seed derived from
+    /// `(base_seed, n, t)` so sweeps are reproducible.
+    pub base_seed: u64,
+}
+
+/// Measurements for one population size.
+#[derive(Debug, Clone)]
+pub struct SizeResult {
+    /// The population size.
+    pub n: usize,
+    /// Raw per-trial measurements.
+    pub samples: Vec<f64>,
+    /// Summary statistics of `samples`.
+    pub summary: Summary,
+}
+
+/// The result of a sweep: one [`SizeResult`] per configured size.
+#[derive(Debug, Clone)]
+pub struct SweepTable {
+    /// Results in the order of `SweepConfig::sizes`.
+    pub rows: Vec<SizeResult>,
+}
+
+impl SweepTable {
+    /// `(n, mean)` pairs for fitting.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.n as f64, r.summary.mean))
+            .collect()
+    }
+}
+
+/// SplitMix64-style seed derivation (kept local so this crate stays
+/// independent of the model crates).
+fn derive_seed(base: u64, n: usize, trial: usize) -> u64 {
+    let mut x = base
+        ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (trial as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runs `workload(n, seed)` for every configured size and trial, spreading
+/// trials over available CPU cores (scoped threads with an atomic
+/// work-stealing counter). Returns the per-size summaries in configuration
+/// order.
+///
+/// The workload must be deterministic given `(n, seed)` for the sweep to
+/// be reproducible.
+pub fn sweep<F>(cfg: &SweepConfig, workload: F) -> SweepTable
+where
+    F: Fn(usize, u64) -> f64 + Sync,
+{
+    // Flatten all (size, trial) jobs, run them on a simple work-stealing
+    // index counter, then regroup.
+    let jobs: Vec<(usize, usize)> = cfg
+        .sizes
+        .iter()
+        .flat_map(|&n| (0..cfg.trials).map(move |t| (n, t)))
+        .collect();
+    let results = run_jobs(&jobs, |&(n, t)| workload(n, derive_seed(cfg.base_seed, n, t)));
+
+    let mut rows = Vec::with_capacity(cfg.sizes.len());
+    for (i, &n) in cfg.sizes.iter().enumerate() {
+        let samples: Vec<f64> = (0..cfg.trials)
+            .map(|t| results[i * cfg.trials + t])
+            .collect();
+        let summary = Summary::of(&samples);
+        rows.push(SizeResult { n, samples, summary });
+    }
+    SweepTable { rows }
+}
+
+/// Runs `f` over `jobs` in parallel, preserving the order of results.
+fn run_jobs<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+        .min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, f(&jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker threads do not panic"))
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order_and_counts() {
+        let cfg = SweepConfig {
+            sizes: vec![4, 8, 2],
+            trials: 5,
+            base_seed: 0,
+        };
+        let t = sweep(&cfg, |n, _| n as f64);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0].n, 4);
+        assert_eq!(t.rows[2].n, 2);
+        assert!(t.rows.iter().all(|r| r.samples.len() == 5));
+        assert_eq!(t.points()[1], (8.0, 8.0));
+    }
+
+    #[test]
+    fn seeds_vary_per_trial_but_reproduce() {
+        let cfg = SweepConfig {
+            sizes: vec![10],
+            trials: 6,
+            base_seed: 42,
+        };
+        let a = sweep(&cfg, |_, seed| seed as f64);
+        let b = sweep(&cfg, |_, seed| seed as f64);
+        assert_eq!(a.rows[0].samples, b.rows[0].samples, "reproducible");
+        let mut distinct = a.rows[0].samples.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert_eq!(distinct.len(), 6, "per-trial seeds differ");
+    }
+
+    #[test]
+    fn parallel_matches_serial_semantics() {
+        let cfg = SweepConfig {
+            sizes: (2..40).collect(),
+            trials: 3,
+            base_seed: 7,
+        };
+        let t = sweep(&cfg, |n, seed| (n as f64) * 1e6 + (seed % 1000) as f64);
+        for (i, row) in t.rows.iter().enumerate() {
+            assert_eq!(row.n, i + 2);
+            for (t_idx, &v) in row.samples.iter().enumerate() {
+                let expect =
+                    (row.n as f64) * 1e6 + (derive_seed(7, row.n, t_idx) % 1000) as f64;
+                assert_eq!(v, expect);
+            }
+        }
+    }
+}

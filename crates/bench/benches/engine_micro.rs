@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the simulation engine's hot path:
+//! interaction throughput for a flat rule table and for a composite-state
+//! machine, plus predicate-check cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcon_core::Simulation;
+use netcon_graph::properties::is_spanning_star;
+use netcon_protocols::{global_star, simple_global_line};
+use std::hint::black_box;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+
+    group.bench_function("step_flat_star_n256", |b| {
+        let mut sim = Simulation::new(global_star::protocol(), 256, 1);
+        b.iter(|| black_box(sim.step()));
+    });
+
+    group.bench_function("step_flat_line_n256", |b| {
+        let mut sim = Simulation::new(simple_global_line::protocol(), 256, 1);
+        b.iter(|| black_box(sim.step()));
+    });
+
+    group.bench_function("star_predicate_n256", |b| {
+        let mut sim = Simulation::new(global_star::protocol(), 256, 1);
+        sim.run_for(100_000);
+        b.iter(|| black_box(is_spanning_star(sim.population().edges())));
+    });
+
+    group.bench_function("full_star_run_n64", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(global_star::protocol(), 64, 7);
+            black_box(sim.run_until(global_star::is_stable, u64::MAX))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

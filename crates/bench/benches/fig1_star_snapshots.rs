@@ -1,0 +1,55 @@
+//! **Figure 1** — the spanning-star self-assembly snapshots, as a data
+//! series: number of surviving centres ("blacks"), centre–peripheral
+//! edges, and peripheral–peripheral residue edges over the course of one
+//! seeded execution, with the three qualitative snapshots (a)/(b)/(c)
+//! the paper draws.
+
+use netcon_core::{Simulation, StepResult};
+use netcon_protocols::global_star::{self, C, P};
+
+fn main() {
+    let n = 48;
+    let mut sim = Simulation::new(global_star::protocol(), n, 2014);
+    println!("=== Fig. 1: star formation time series (n = {n}) ===\n");
+    println!("{:>9}  {:>7} {:>12} {:>12}", "step", "blacks", "black-red", "red-red");
+
+    let print_state = |sim: &Simulation<netcon_core::RuleProtocol>, label: &str| {
+        let pop = sim.population();
+        let blacks = pop.count_where(|s| *s == C);
+        let br = pop
+            .edges()
+            .active_edges()
+            .filter(|&(u, v)| (*pop.state(u) == C) != (*pop.state(v) == C))
+            .count();
+        let rr = pop
+            .edges()
+            .active_edges()
+            .filter(|&(u, v)| *pop.state(u) == P && *pop.state(v) == P)
+            .count();
+        println!("{:>9}  {:>7} {:>12} {:>12}  {label}", sim.steps(), blacks, br, rr);
+    };
+
+    print_state(&sim, "(a) initial: all black, no edges");
+    let mut next_mark = 1u64;
+    loop {
+        let r = sim.step();
+        if sim.steps() == next_mark {
+            print_state(&sim, "");
+            next_mark *= 2;
+        }
+        if let StepResult::Effective { .. } = r {
+            let blacks = sim.population().count_where(|s| *s == C);
+            if blacks == 3 {
+                print_state(&sim, "(b) three blacks with red neighbourhoods");
+            }
+            if global_star::is_stable(sim.population()) {
+                print_state(&sim, "(c) stable spanning star");
+                break;
+            }
+        }
+    }
+    println!(
+        "\nverified: is_spanning_star = {}",
+        netcon_graph::properties::is_spanning_star(sim.population().edges())
+    );
+}

@@ -1,0 +1,42 @@
+//! **Figure 2** — a typical configuration of Simple-Global-Line while
+//! converging: coexisting lines with `l`-endpoint leaders or walking `w`
+//! leaders, plus isolated `q0` nodes. Regenerated as a census at fixed
+//! fractions of the (retrospectively known) convergence time.
+
+use netcon_core::Simulation;
+use netcon_protocols::simple_global_line::{self, census};
+
+fn main() {
+    let n = 64;
+    let seed = 7;
+    println!("=== Fig. 2: Simple-Global-Line configuration census (n = {n}) ===\n");
+
+    // First run: find the convergence step.
+    let mut probe = Simulation::new(simple_global_line::protocol(), n, seed);
+    let total = probe
+        .run_until(simple_global_line::is_stable, u64::MAX)
+        .converged_at()
+        .expect("line protocol stabilizes");
+    println!("convergence at {total} steps; censuses at 10%..100%:\n");
+
+    println!(
+        "{:>6}  {:>9} {:>13} {:>13} {:>22}",
+        "%", "isolated", "l-led lines", "w-led lines", "line lengths"
+    );
+    let mut sim = Simulation::new(simple_global_line::protocol(), n, seed);
+    for pct in [10u64, 25, 50, 75, 90, 100] {
+        let target = total * pct / 100;
+        while sim.steps() < target {
+            sim.step();
+        }
+        let c = census(sim.population());
+        println!(
+            "{:>6}  {:>9} {:>13} {:>13}  {:?}",
+            pct,
+            c.isolated,
+            c.lines_with_endpoint_leader,
+            c.lines_with_walking_leader,
+            c.line_lengths
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! **Figures 7–8** — the (U, D, M) partition of Theorem 15: census after
+//! stabilization (|U| = |D| = |M| = ⌊n/3⌋ with the Fig. 7 triple shape)
+//! and the convergence-time sweep.
+
+use netcon_analysis::sweep::{sweep, SweepConfig};
+use netcon_analysis::table::TextTable;
+use netcon_bench::harness::{fits, fmt_fit, scale};
+use netcon_core::Simulation;
+use netcon_universal::partition::{udm_census, udm_is_stable, udm_protocol};
+
+fn main() {
+    println!("=== Figs. 7–8: (U, D, M) partition (Theorem 15) ===\n");
+    let mut t = TextTable::new(&["n", "|U|", "|D|", "|M|", "residue", "triples ok"]);
+    for n in [9usize, 16, 24, 48, 96] {
+        let mut sim = Simulation::new(udm_protocol(), n, 13);
+        sim.run_until(udm_is_stable, u64::MAX);
+        let c = udm_census(sim.population());
+        t.row(&[
+            &n.to_string(),
+            &c.u.to_string(),
+            &c.d.to_string(),
+            &c.m.to_string(),
+            &c.residue.to_string(),
+            &c.triples_ok.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let cfg = SweepConfig {
+        sizes: vec![12, 24, 48, 96, 144],
+        trials: scale(15),
+        base_seed: 5,
+    };
+    let table = sweep(&cfg, |n, seed| {
+        let mut sim = Simulation::new(udm_protocol(), n, seed);
+        sim.run_until(udm_is_stable, u64::MAX)
+            .converged_at()
+            .expect("partition stabilizes") as f64
+    });
+    let (raw, corrected) = fits(&table);
+    println!(
+        "convergence fit: n^k {} / n^k·log n {}",
+        fmt_fit(&raw),
+        fmt_fit(&corrected)
+    );
+}

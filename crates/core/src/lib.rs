@@ -1,0 +1,72 @@
+//! The network-constructor model of Michail & Spirakis (PODC 2014).
+//!
+//! A *network constructor* (NET) is a distributed protocol
+//! `(Q, q₀, Q_out, δ)` executed by a population of `n` anonymous,
+//! identical, finite-state processes. An adversary scheduler repeatedly
+//! selects an unordered pair of processes; the pair interacts, and the
+//! transition function
+//!
+//! ```text
+//! δ : Q × Q × {0, 1} → Q × Q × {0, 1}
+//! ```
+//!
+//! rewrites the two node states and the binary state of the edge joining
+//! them. All edges start inactive; the protocol's *output* is the subgraph
+//! induced by the active edges (restricted to nodes in output states), and
+//! an execution *stabilizes* when the output graph stops changing forever.
+//!
+//! This crate provides the executable model:
+//!
+//! * [`StateId`] and [`Link`] — node-state and edge-state value types;
+//! * [`rules`] — declarative rule tables ([`ProtocolBuilder`],
+//!   [`RuleProtocol`]) mirroring the paper's protocol listings, including
+//!   the ½/½ randomized transitions of the `PREL` extension;
+//! * [`Machine`] — the generic interaction interface, so composite-state
+//!   constructions (Turing-machine simulations, supernodes) can share the
+//!   engine with flat rule tables;
+//! * [`Population`] — node states plus the active-edge set;
+//! * [`scheduler`] — the uniform random scheduler used by all running-time
+//!   analyses, plus fair deterministic adversaries for correctness testing;
+//! * [`sim`] — the step loop with the paper-exact symmetry-breaking coin,
+//!   convergence bookkeeping, and quiescence checks.
+//!
+//! # Example: the spanning-star code from the introduction
+//!
+//! ```
+//! use netcon_core::{Link, ProtocolBuilder, Simulation};
+//! use netcon_graph::properties::is_spanning_star;
+//!
+//! let mut b = ProtocolBuilder::new("intro-star");
+//! let black = b.state("black");
+//! let red = b.state("red");
+//! // Blacks merge, reds repel, black attracts red.
+//! b.rule((black, black, Link::Off), (black, red, Link::On));
+//! b.rule((red, red, Link::On), (red, red, Link::Off));
+//! b.rule((black, red, Link::Off), (black, red, Link::On));
+//! let protocol = b.build()?;
+//!
+//! let mut sim = Simulation::new(protocol, 20, 42);
+//! let outcome = sim.run_until(|p| is_spanning_star(p.edges()), 10_000_000);
+//! assert!(outcome.stabilized());
+//! # Ok::<(), netcon_core::ProtocolError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod population;
+mod state;
+
+pub mod rules;
+pub mod scheduler;
+pub mod seeds;
+pub mod sim;
+pub mod testing;
+
+pub use machine::Machine;
+pub use population::Population;
+pub use rules::{ProtocolBuilder, ProtocolError, Rule, RuleProtocol, RuleRhs};
+pub use scheduler::{RoundRobin, Scheduler, ShuffledRounds, Uniform};
+pub use sim::{RunOutcome, Simulation, StepResult};
+pub use state::{Link, StateId};

@@ -1,0 +1,129 @@
+//! The population: node states plus the active-edge set.
+
+use netcon_graph::EdgeSet;
+
+/// A configuration `C : V ∪ E → Q ∪ {0, 1}` of the model: the state of
+/// every node and the binary state of every edge of the complete
+/// interaction graph.
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::Population;
+///
+/// let mut pop: Population<&str> = Population::new(3, "q0");
+/// pop.set_state(1, "leader");
+/// pop.edges_mut().activate(0, 1);
+/// assert_eq!(*pop.state(1), "leader");
+/// assert_eq!(pop.edges().active_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Population<S> {
+    states: Vec<S>,
+    edges: EdgeSet,
+}
+
+impl<S: Clone> Population<S> {
+    /// Creates a population of `n` nodes, all in `initial`, with every edge
+    /// inactive — the model's initial configuration.
+    #[must_use]
+    pub fn new(n: usize, initial: S) -> Self {
+        Self {
+            states: vec![initial; n],
+            edges: EdgeSet::new(n),
+        }
+    }
+
+    /// Creates a population from explicit node states and edge states.
+    ///
+    /// Used for problems whose input is part of the initial configuration,
+    /// e.g. Graph-Replication where `V₁` starts in `q₀` with `E₁` active
+    /// and `V₂` starts in `r₀`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != edges.n()`.
+    #[must_use]
+    pub fn from_parts(states: Vec<S>, edges: EdgeSet) -> Self {
+        assert_eq!(
+            states.len(),
+            edges.n(),
+            "state vector and edge set disagree on population size"
+        );
+        Self { states, edges }
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state of node `u`.
+    #[must_use]
+    pub fn state(&self, u: usize) -> &S {
+        &self.states[u]
+    }
+
+    /// Sets the state of node `u`.
+    pub fn set_state(&mut self, u: usize, state: S) {
+        self.states[u] = state;
+    }
+
+    /// All node states, indexed by node.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The active-edge set (the output network when all states are output
+    /// states).
+    #[must_use]
+    pub fn edges(&self) -> &EdgeSet {
+        &self.edges
+    }
+
+    /// Mutable access to the edge set, for preparing initial
+    /// configurations. Protocol execution goes through
+    /// [`Simulation`](crate::Simulation) instead.
+    pub fn edges_mut(&mut self) -> &mut EdgeSet {
+        &mut self.edges
+    }
+
+    /// The number of nodes whose state satisfies `pred`.
+    pub fn count_where(&self, pred: impl Fn(&S) -> bool) -> usize {
+        self.states.iter().filter(|s| pred(s)).count()
+    }
+
+    /// The indices of nodes whose state satisfies `pred`.
+    pub fn nodes_where(&self, pred: impl Fn(&S) -> bool) -> Vec<usize> {
+        (0..self.n()).filter(|&u| pred(&self.states[u])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_population_is_initial_configuration() {
+        let pop: Population<u8> = Population::new(5, 0);
+        assert_eq!(pop.n(), 5);
+        assert!(pop.states().iter().all(|&s| s == 0));
+        assert_eq!(pop.edges().active_count(), 0);
+    }
+
+    #[test]
+    fn count_and_select() {
+        let mut pop: Population<u8> = Population::new(4, 0);
+        pop.set_state(2, 9);
+        assert_eq!(pop.count_where(|&s| s == 9), 1);
+        assert_eq!(pop.nodes_where(|&s| s == 0), vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mismatched_parts_panic() {
+        let _ = Population::from_parts(vec![0u8; 3], EdgeSet::new(4));
+    }
+}

@@ -1,0 +1,502 @@
+//! The simulation engine: the scheduler-driven step loop with convergence
+//! bookkeeping.
+//!
+//! Running time in the paper is *sequential*: one selected interaction per
+//! step, and the time to convergence of an execution is the minimum `t`
+//! such that the output graph `G(C_i)` is the same for all `i ≥ t`
+//! (§3.1). The engine therefore records the step of the last output-graph
+//! change; harnesses certify stabilization with a protocol-specific stable
+//! predicate and read the convergence time from
+//! [`RunOutcome::converged_at`].
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{Link, Machine, Population, Scheduler, Uniform};
+
+/// The result of a single simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The selected pair had no applicable effective transition.
+    Ineffective {
+        /// The pair the scheduler selected.
+        pair: (usize, usize),
+    },
+    /// An effective transition was applied.
+    Effective {
+        /// The pair the scheduler selected.
+        pair: (usize, usize),
+        /// Whether the edge between the pair changed state.
+        edge_changed: bool,
+    },
+}
+
+impl StepResult {
+    /// Whether the step applied an effective transition.
+    #[must_use]
+    pub fn is_effective(&self) -> bool {
+        matches!(self, StepResult::Effective { .. })
+    }
+}
+
+/// The result of a bounded run towards a stable target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The stability predicate held at `detected_at` steps.
+    Stabilized {
+        /// Step count at which the predicate was observed to hold.
+        detected_at: u64,
+        /// Step of the last output-graph (edge) change — the paper's
+        /// convergence time, assuming the predicate certifies that no
+        /// further output change can occur.
+        converged_at: u64,
+        /// Step of the last effective transition (node or edge change);
+        /// the convergence time of processes that do not touch edges.
+        last_effective: u64,
+    },
+    /// The step budget was exhausted before the predicate held.
+    MaxSteps {
+        /// The exhausted budget.
+        steps: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run reached the target.
+    #[must_use]
+    pub fn stabilized(&self) -> bool {
+        matches!(self, RunOutcome::Stabilized { .. })
+    }
+
+    /// The paper's convergence time (last output change), if stabilized.
+    #[must_use]
+    pub fn converged_at(&self) -> Option<u64> {
+        match self {
+            RunOutcome::Stabilized { converged_at, .. } => Some(*converged_at),
+            RunOutcome::MaxSteps { .. } => None,
+        }
+    }
+
+    /// The last effective interaction step, if stabilized.
+    #[must_use]
+    pub fn last_effective(&self) -> Option<u64> {
+        match self {
+            RunOutcome::Stabilized { last_effective, .. } => Some(*last_effective),
+            RunOutcome::MaxSteps { .. } => None,
+        }
+    }
+}
+
+/// A running execution of a [`Machine`] on a population under a
+/// [`Scheduler`].
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::{Link, ProtocolBuilder, Simulation};
+/// use netcon_graph::properties::is_maximum_matching;
+///
+/// // The maximum-matching process (§3.3): (a, a, 0) → (b, b, 1).
+/// let mut b = ProtocolBuilder::new("matching");
+/// let a = b.state("a");
+/// let m = b.state("b");
+/// b.rule((a, a, Link::Off), (m, m, Link::On));
+/// let protocol = b.build()?;
+///
+/// let mut sim = Simulation::new(protocol, 30, 1);
+/// let outcome = sim.run_until(|p| is_maximum_matching(p.edges()), 1_000_000);
+/// assert!(outcome.stabilized());
+/// assert!(sim.is_quiescent());
+/// # Ok::<(), netcon_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<M: Machine, S: Scheduler = Uniform> {
+    machine: M,
+    scheduler: S,
+    pop: Population<M::State>,
+    rng: SmallRng,
+    steps: u64,
+    effective_steps: u64,
+    edge_events: u64,
+    last_output_change: u64,
+    last_effective: u64,
+}
+
+impl<M: Machine> Simulation<M, Uniform> {
+    /// Creates a simulation of `machine` on `n` nodes in the initial
+    /// configuration, under the uniform random scheduler, reproducible
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (pairwise interactions need two processes).
+    #[must_use]
+    pub fn new(machine: M, n: usize, seed: u64) -> Self {
+        Self::with_scheduler(machine, n, seed, Uniform)
+    }
+
+    /// Creates a simulation starting from an explicit configuration (for
+    /// problems with non-trivial inputs, e.g. Graph-Replication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than 2 nodes.
+    #[must_use]
+    pub fn from_population(machine: M, pop: Population<M::State>, seed: u64) -> Self {
+        Self::from_population_with_scheduler(machine, pop, seed, Uniform)
+    }
+}
+
+impl<M: Machine, S: Scheduler> Simulation<M, S> {
+    /// Creates a simulation under a custom scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_scheduler(machine: M, n: usize, seed: u64, scheduler: S) -> Self {
+        let pop = Population::new(n, machine.initial_state());
+        Self::from_population_with_scheduler(machine, pop, seed, scheduler)
+    }
+
+    /// Creates a simulation from an explicit configuration under a custom
+    /// scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than 2 nodes.
+    #[must_use]
+    pub fn from_population_with_scheduler(
+        machine: M,
+        pop: Population<M::State>,
+        seed: u64,
+        scheduler: S,
+    ) -> Self {
+        assert!(pop.n() >= 2, "pairwise interactions need at least 2 processes");
+        Self {
+            machine,
+            scheduler,
+            pop,
+            rng: SmallRng::seed_from_u64(seed),
+            steps: 0,
+            effective_steps: 0,
+            edge_events: 0,
+            last_output_change: 0,
+            last_effective: 0,
+        }
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn population(&self) -> &Population<M::State> {
+        &self.pop
+    }
+
+    /// The machine being executed.
+    #[must_use]
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Steps taken so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Effective interactions so far.
+    #[must_use]
+    pub fn effective_steps(&self) -> u64 {
+        self.effective_steps
+    }
+
+    /// Edge activations/deactivations so far.
+    #[must_use]
+    pub fn edge_events(&self) -> u64 {
+        self.edge_events
+    }
+
+    /// The step of the most recent edge change (0 if none yet) — the
+    /// current candidate for the paper's convergence time.
+    #[must_use]
+    pub fn last_output_change(&self) -> u64 {
+        self.last_output_change
+    }
+
+    /// The step of the most recent effective interaction (0 if none yet).
+    #[must_use]
+    pub fn last_effective(&self) -> u64 {
+        self.last_effective
+    }
+
+    /// Executes one scheduler-selected interaction.
+    pub fn step(&mut self) -> StepResult {
+        let (u, v) = self.scheduler.next_pair(self.pop.n(), &mut self.rng);
+        self.steps += 1;
+        let link = Link::from(self.pop.edges().is_active(u, v));
+        let a = self.pop.state(u).clone();
+        let b = self.pop.state(v).clone();
+        match self.machine.interact(&a, &b, link, &mut self.rng) {
+            None => StepResult::Ineffective { pair: (u, v) },
+            Some((a2, b2, l2)) => {
+                let edge_changed = l2 != link;
+                if edge_changed {
+                    self.pop.edges_mut().set(u, v, l2.is_on());
+                    self.edge_events += 1;
+                    self.last_output_change = self.steps;
+                }
+                self.pop.set_state(u, a2);
+                self.pop.set_state(v, b2);
+                self.effective_steps += 1;
+                self.last_effective = self.steps;
+                StepResult::Effective {
+                    pair: (u, v),
+                    edge_changed,
+                }
+            }
+        }
+    }
+
+    /// Runs for exactly `steps` further interactions.
+    pub fn run_for(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Runs until `stable` holds or `max_steps` total steps have
+    /// elapsed.
+    ///
+    /// The predicate is evaluated on the initial configuration, after
+    /// every step that changes an edge, and after every step on which the
+    /// *node* states changed but no edge did (cheaply skipping ineffective
+    /// steps). For a predicate that certifies output-stability, the
+    /// returned [`RunOutcome::Stabilized::converged_at`] is exactly the
+    /// paper's time to convergence.
+    pub fn run_until(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.pop) {
+            return self.stabilized_now();
+        }
+        while self.steps < max_steps {
+            if self.step().is_effective() && stable(&self.pop) {
+                return self.stabilized_now();
+            }
+        }
+        RunOutcome::MaxSteps { steps: self.steps }
+    }
+
+    /// Like [`run_until`](Self::run_until) but only re-evaluates the
+    /// predicate when an edge changes. Correct (and faster) for predicates
+    /// that depend only on the output graph.
+    pub fn run_until_edges(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.pop) {
+            return self.stabilized_now();
+        }
+        while self.steps < max_steps {
+            if let StepResult::Effective {
+                edge_changed: true, ..
+            } = self.step()
+            {
+                if stable(&self.pop) {
+                    return self.stabilized_now();
+                }
+            }
+        }
+        RunOutcome::MaxSteps { steps: self.steps }
+    }
+
+    fn stabilized_now(&self) -> RunOutcome {
+        RunOutcome::Stabilized {
+            detected_at: self.steps,
+            converged_at: self.last_output_change,
+            last_effective: self.last_effective,
+        }
+    }
+
+    /// Whether no pair of nodes has any effective interaction — the
+    /// strongest form of stability. `O(n²)` scan.
+    ///
+    /// Note that some correct protocols never quiesce (their leaders walk
+    /// forever); those stabilize in output without ever satisfying this.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        let n = self.pop.n();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let link = Link::from(self.pop.edges().is_active(u, v));
+                if self
+                    .machine
+                    .can_affect(self.pop.state(u), self.pop.state(v), link)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether no pair of nodes has an interaction that could change an
+    /// edge *in the current configuration*. `O(n²)` scan.
+    ///
+    /// This is a one-configuration check, not a reachability proof: a
+    /// protocol may pass it and still change edges later after node-state
+    /// drift. Use per-protocol stable predicates for certification.
+    #[must_use]
+    pub fn is_edge_quiescent(&self) -> bool {
+        let n = self.pop.n();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let link = Link::from(self.pop.edges().is_active(u, v));
+                if self
+                    .machine
+                    .can_affect_edge(self.pop.state(u), self.pop.state(v), link)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The output graph: active edges restricted to nodes in output
+    /// states. When `Q_out = Q` this is just the active-edge set.
+    #[must_use]
+    pub fn output_graph(&self) -> netcon_graph::EdgeSet {
+        let n = self.pop.n();
+        let mut out = netcon_graph::EdgeSet::new(n);
+        for (u, v) in self.pop.edges().active_edges() {
+            if self.machine.is_output(self.pop.state(u)) && self.machine.is_output(self.pop.state(v))
+            {
+                out.activate(u, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProtocolBuilder, RoundRobin};
+    use netcon_graph::properties::is_maximum_matching;
+
+    const OFF: Link = Link::Off;
+    const ON: Link = Link::On;
+
+    fn matching_protocol() -> crate::RuleProtocol {
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, OFF), (m, m, ON));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn matching_converges_and_quiesces() {
+        let mut sim = Simulation::new(matching_protocol(), 20, 123);
+        let outcome = sim.run_until_edges(|p| is_maximum_matching(p.edges()), 200_000);
+        assert!(outcome.stabilized(), "matching should form: {outcome:?}");
+        assert!(sim.is_quiescent());
+        assert!(sim.is_edge_quiescent());
+        assert_eq!(sim.population().edges().active_count(), 10);
+    }
+
+    #[test]
+    fn odd_population_leaves_one_unmatched() {
+        let mut sim = Simulation::new(matching_protocol(), 21, 5);
+        let outcome = sim.run_until_edges(|p| is_maximum_matching(p.edges()), 400_000);
+        assert!(outcome.stabilized());
+        let a = sim.machine().state("a").unwrap();
+        assert_eq!(sim.population().count_where(|s| *s == a), 1);
+    }
+
+    #[test]
+    fn convergence_time_is_last_edge_change() {
+        let mut sim = Simulation::new(matching_protocol(), 10, 7);
+        let outcome = sim.run_until_edges(|p| is_maximum_matching(p.edges()), 100_000);
+        let RunOutcome::Stabilized {
+            detected_at,
+            converged_at,
+            ..
+        } = outcome
+        else {
+            panic!("did not stabilize");
+        };
+        assert_eq!(
+            detected_at, converged_at,
+            "for edge-predicate runs detection happens on the converging step"
+        );
+        assert_eq!(u64::from(sim.edge_events() > 0), 1);
+        // Running further changes nothing: the output is stable.
+        let before = sim.population().edges().clone();
+        sim.run_for(10_000);
+        assert_eq!(*sim.population().edges(), before);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = Simulation::new(matching_protocol(), 16, seed);
+            sim.run_until_edges(|p| is_maximum_matching(p.edges()), 100_000)
+        };
+        assert_eq!(run(9), run(9));
+        assert!(run(9).stabilized());
+    }
+
+    #[test]
+    fn works_under_round_robin() {
+        let mut sim =
+            Simulation::with_scheduler(matching_protocol(), 12, 3, RoundRobin::new());
+        let outcome = sim.run_until_edges(|p| is_maximum_matching(p.edges()), 100_000);
+        assert!(outcome.stabilized());
+    }
+
+    #[test]
+    fn initial_configuration_can_be_stable() {
+        // A protocol with no rules is stable immediately.
+        let mut b = ProtocolBuilder::new("inert");
+        let _ = b.state("a");
+        let p = b.build().expect("valid");
+        let mut sim = Simulation::new(p, 4, 0);
+        let outcome = sim.run_until(|_| true, 10);
+        assert_eq!(
+            outcome,
+            RunOutcome::Stabilized {
+                detected_at: 0,
+                converged_at: 0,
+                last_effective: 0
+            }
+        );
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let _ = Simulation::new(matching_protocol(), 1, 0);
+    }
+
+    #[test]
+    fn output_graph_respects_output_states() {
+        let mut b = ProtocolBuilder::new("half-out");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, OFF), (m, m, ON));
+        b.output_states(&[a]);
+        let p = b.build().expect("valid");
+        let mut sim = Simulation::new(p, 10, 11);
+        sim.run_until_edges(|p| is_maximum_matching(p.edges()), 100_000);
+        // Matched nodes are in state b, which is not an output state, so
+        // the output graph is empty even though edges are active.
+        assert_eq!(sim.output_graph().active_count(), 0);
+        assert!(sim.population().edges().active_count() > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Value types for node states and edge states.
+
+use std::fmt;
+
+/// A node state of a flat (rule-table) protocol.
+///
+/// States are dense indices into the protocol's state set `Q`; the
+/// [`ProtocolBuilder`](crate::ProtocolBuilder) hands them out and maps them
+/// back to their paper names. The type is deliberately opaque: a `StateId`
+/// from one protocol is meaningless in another.
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::ProtocolBuilder;
+///
+/// let mut b = ProtocolBuilder::new("demo");
+/// let q0 = b.state("q0");
+/// let q1 = b.state("q1");
+/// assert_ne!(q0, q1);
+/// assert_eq!(q0.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(u16);
+
+impl StateId {
+    /// Creates a state id from a raw index.
+    ///
+    /// Prefer obtaining ids from
+    /// [`ProtocolBuilder::state`](crate::ProtocolBuilder::state); this
+    /// constructor exists for tests and table-driven tooling.
+    #[must_use]
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// The dense index of this state in `Q`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q#{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The binary state of a connection between two processes.
+///
+/// The paper's edge states `{0, 1}`: an edge in state 1 is *active* (it
+/// exists in the output network), an edge in state 0 is *inactive*. All
+/// edges start [`Link::Off`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub enum Link {
+    /// The connection is inactive (edge state 0). The initial state of
+    /// every edge.
+    #[default]
+    Off,
+    /// The connection is active (edge state 1).
+    On,
+}
+
+impl Link {
+    /// Whether the connection is active.
+    #[must_use]
+    pub const fn is_on(self) -> bool {
+        matches!(self, Link::On)
+    }
+}
+
+impl From<bool> for Link {
+    fn from(active: bool) -> Self {
+        if active {
+            Link::On
+        } else {
+            Link::Off
+        }
+    }
+}
+
+impl From<Link> for bool {
+    fn from(link: Link) -> Self {
+        link.is_on()
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.is_on() { 1 } else { 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_roundtrip() {
+        assert_eq!(Link::from(true), Link::On);
+        assert_eq!(Link::from(false), Link::Off);
+        assert!(bool::from(Link::On));
+        assert!(Link::default() == Link::Off, "all edges start inactive");
+    }
+
+    #[test]
+    fn state_id_index() {
+        assert_eq!(StateId::new(7).index(), 7);
+        assert_eq!(format!("{:?}", StateId::new(3)), "q#3");
+    }
+}

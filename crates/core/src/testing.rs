@@ -1,0 +1,59 @@
+//! Test support: convergence assertions shared by protocol test suites.
+//!
+//! The paper's notion of stabilization is *forever after*: the output graph
+//! must never change again. Tests therefore combine a stable predicate
+//! (derived from each protocol's correctness proof) with a follow-up run
+//! that asserts the output really stayed fixed.
+
+use crate::{Machine, Population, RunOutcome, Scheduler, Simulation, Uniform};
+
+/// Runs `machine` on `n` fresh nodes until `stable` holds, then continues
+/// for `extra` steps asserting the active-edge set no longer changes.
+/// Returns the simulation at the end for further inspection.
+///
+/// # Panics
+///
+/// Panics (with context) if the run exhausts `max_steps` before `stable`
+/// holds, or if the output graph changes during the follow-up phase.
+pub fn assert_stabilizes<M: Machine>(
+    machine: M,
+    n: usize,
+    seed: u64,
+    stable: impl FnMut(&Population<M::State>) -> bool,
+    max_steps: u64,
+    extra: u64,
+) -> Simulation<M, Uniform> {
+    let sim = Simulation::new(machine, n, seed);
+    assert_stabilizes_sim(sim, stable, max_steps, extra)
+}
+
+/// Like [`assert_stabilizes`] but starting from a prepared simulation
+/// (custom initial configuration or scheduler).
+///
+/// # Panics
+///
+/// Panics (with context) if the run exhausts `max_steps` before `stable`
+/// holds, or if the output graph changes during the follow-up phase.
+pub fn assert_stabilizes_sim<M: Machine, S: Scheduler>(
+    mut sim: Simulation<M, S>,
+    stable: impl FnMut(&Population<M::State>) -> bool,
+    max_steps: u64,
+    extra: u64,
+) -> Simulation<M, S> {
+    let name = sim.machine().name().to_owned();
+    let n = sim.population().n();
+    let outcome = sim.run_until(stable, max_steps);
+    assert!(
+        matches!(outcome, RunOutcome::Stabilized { .. }),
+        "{name} on n={n} did not stabilize within {max_steps} steps"
+    );
+    let frozen = sim.population().edges().clone();
+    sim.run_for(extra);
+    assert_eq!(
+        *sim.population().edges(),
+        frozen,
+        "{name} on n={n}: output graph changed after the stable predicate held — \
+         the predicate does not certify stability"
+    );
+    sim
+}

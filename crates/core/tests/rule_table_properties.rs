@@ -1,0 +1,115 @@
+//! Property-based tests of the rule-table layer against the model's
+//! definition of δ (§3.1): random well-formed protocols must behave as
+//! symmetric partial functions, `can_affect` must agree with `interact`,
+//! and executions must be reproducible.
+
+use netcon_core::{Link, Machine, ProtocolBuilder, RuleProtocol, Simulation, StateId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A random protocol over `size` states with rules on distinct unordered
+/// triples (so it is always well-formed).
+fn arb_protocol() -> impl Strategy<Value = RuleProtocol> {
+    (2u16..6, any::<u64>(), 1usize..10).prop_map(|(size, seed, rules)| {
+        use rand::RngExt;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = ProtocolBuilder::new("random");
+        let states: Vec<StateId> = (0..size).map(|i| b.state(format!("s{i}"))).collect();
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..rules {
+            let a = states[rng.random_range(0..states.len())];
+            let c = states[rng.random_range(0..states.len())];
+            let link = Link::from(rng.random_bool(0.5));
+            let key = (a.min(c), a.max(c), link);
+            if !used.insert(key) {
+                continue;
+            }
+            let rhs = (
+                states[rng.random_range(0..states.len())],
+                states[rng.random_range(0..states.len())],
+                Link::from(rng.random_bool(0.5)),
+            );
+            b.rule((a, c, link), rhs);
+        }
+        b.build().expect("distinct unordered triples are always valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// δ symmetry: querying (a, b) and (b, a) gives mirrored results.
+    #[test]
+    fn interact_is_symmetric(p in arb_protocol(), a in 0u16..6, b in 0u16..6, on in any::<bool>()) {
+        let (a, b) = (
+            StateId::new(a % p.size() as u16),
+            StateId::new(b % p.size() as u16),
+        );
+        prop_assume!(a != b);
+        let link = Link::from(on);
+        let mut r1 = SmallRng::seed_from_u64(0);
+        let mut r2 = SmallRng::seed_from_u64(0);
+        let fwd = p.interact(&a, &b, link, &mut r1);
+        let bwd = p.interact(&b, &a, link, &mut r2);
+        match (fwd, bwd) {
+            (None, None) => {}
+            (Some((x, y, l)), Some((y2, x2, l2))) => {
+                prop_assert_eq!((x, y, l), (x2, y2, l2));
+            }
+            other => prop_assert!(false, "asymmetric: {other:?}"),
+        }
+    }
+
+    /// `can_affect` is exactly "interact returns Some" for deterministic
+    /// protocols.
+    #[test]
+    fn can_affect_matches_interact(p in arb_protocol(), a in 0u16..6, b in 0u16..6, on in any::<bool>()) {
+        let (a, b) = (
+            StateId::new(a % p.size() as u16),
+            StateId::new(b % p.size() as u16),
+        );
+        let link = Link::from(on);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let effective = p.interact(&a, &b, link, &mut rng).is_some();
+        prop_assert_eq!(p.can_affect(&a, &b, link), effective);
+    }
+
+    /// Effective interactions always change something.
+    #[test]
+    fn effective_means_changed(p in arb_protocol(), a in 0u16..6, b in 0u16..6, on in any::<bool>()) {
+        let (a, b) = (
+            StateId::new(a % p.size() as u16),
+            StateId::new(b % p.size() as u16),
+        );
+        let link = Link::from(on);
+        let mut rng = SmallRng::seed_from_u64(1);
+        if let Some((x, y, l)) = p.interact(&a, &b, link, &mut rng) {
+            prop_assert!((x, y, l) != (a, b, link), "identity reported effective");
+        }
+    }
+
+    /// Whole executions are reproducible from the seed, step for step.
+    #[test]
+    fn runs_reproduce(p in arb_protocol(), n in 2usize..12, seed in any::<u64>(), steps in 1u64..300) {
+        let mut s1 = Simulation::new(p.clone(), n, seed);
+        let mut s2 = Simulation::new(p, n, seed);
+        for _ in 0..steps {
+            prop_assert_eq!(s1.step(), s2.step());
+        }
+        prop_assert_eq!(s1.population(), s2.population());
+        prop_assert_eq!(s1.effective_steps(), s2.effective_steps());
+    }
+
+    /// Quiescent configurations stay quiescent forever.
+    #[test]
+    fn quiescence_is_permanent(p in arb_protocol(), n in 2usize..8, seed in any::<u64>()) {
+        let mut sim = Simulation::new(p, n, seed);
+        sim.run_for(2_000);
+        if sim.is_quiescent() {
+            let before = sim.population().clone();
+            sim.run_for(2_000);
+            prop_assert_eq!(sim.population(), &before);
+        }
+    }
+}

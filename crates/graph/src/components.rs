@@ -1,0 +1,182 @@
+//! Connected components of the active subgraph, plus a union–find.
+
+use crate::EdgeSet;
+
+/// Returns the connected components of the active subgraph, each as a sorted
+/// list of node indices. Isolated nodes form singleton components.
+///
+/// # Example
+///
+/// ```
+/// use netcon_graph::{components::connected_components, EdgeSet};
+///
+/// let es = EdgeSet::from_edges(5, [(0, 2), (2, 4)]);
+/// let comps = connected_components(&es);
+/// assert_eq!(comps, vec![vec![0, 2, 4], vec![1], vec![3]]);
+/// ```
+#[must_use]
+pub fn connected_components(es: &EdgeSet) -> Vec<Vec<usize>> {
+    let n = es.n();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        stack.push(start);
+        let mut comp = Vec::new();
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for v in es.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether the active subgraph is connected (all `n` nodes in one component).
+///
+/// The empty and singleton graphs count as connected.
+#[must_use]
+pub fn is_connected(es: &EdgeSet) -> bool {
+    let n = es.n();
+    if n <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for v in es.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+/// A union–find (disjoint-set) structure with union by size and path
+/// halving.
+///
+/// Used for incremental connectivity bookkeeping in analysis harnesses.
+///
+/// # Example
+///
+/// ```
+/// use netcon_graph::components::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates a union–find over `n` singleton elements.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// The representative of `x`'s component.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the components of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same component.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The number of components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// The size of `x`'s component.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_empty_graph_are_singletons() {
+        let es = EdgeSet::new(4);
+        assert_eq!(connected_components(&es).len(), 4);
+        assert!(!is_connected(&es));
+    }
+
+    #[test]
+    fn connected_detects_spanning_tree() {
+        let es = EdgeSet::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(is_connected(&es));
+        assert_eq!(connected_components(&es).len(), 1);
+    }
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(is_connected(&EdgeSet::new(0)));
+        assert!(is_connected(&EdgeSet::new(1)));
+        assert!(!is_connected(&EdgeSet::new(2)));
+    }
+
+    #[test]
+    fn union_find_tracks_sizes() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already joined");
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_count(), 4);
+    }
+}

@@ -1,0 +1,376 @@
+//! Dense bitset over the undirected edges of a complete graph.
+
+use std::fmt;
+
+/// The set of active edges over a population of `n` nodes.
+///
+/// Nodes are identified by indices `0..n`. Every unordered pair `{u, v}`
+/// with `u != v` is an edge of the complete interaction graph and is either
+/// *active* (state 1 in the paper) or *inactive* (state 0). The set
+/// maintains per-node degrees (number of incident active edges) and the
+/// total number of active edges, so the shape predicates in
+/// [`properties`](crate::properties) can run degree checks in `O(n)`.
+///
+/// Internally edges are stored in a `u64` bitset indexed by the standard
+/// triangular pair index, so the structure costs `n(n−1)/16` bytes plus the
+/// degree vector.
+///
+/// # Example
+///
+/// ```
+/// use netcon_graph::EdgeSet;
+///
+/// let mut es = EdgeSet::new(5);
+/// assert!(!es.is_active(0, 4));
+/// es.activate(0, 4);
+/// es.activate(4, 1); // order of endpoints is irrelevant
+/// assert!(es.is_active(4, 0));
+/// assert_eq!(es.degree(4), 2);
+/// assert_eq!(es.active_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct EdgeSet {
+    n: usize,
+    words: Vec<u64>,
+    degrees: Vec<u32>,
+    active: usize,
+}
+
+impl EdgeSet {
+    /// Creates an edge set over `n` nodes with every edge inactive.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let bits = n * n.saturating_sub(1) / 2;
+        Self {
+            n,
+            words: vec![0u64; bits.div_ceil(64)],
+            degrees: vec![0; n],
+            active: 0,
+        }
+    }
+
+    /// Creates an edge set with the given edges active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range or an edge is a self-loop.
+    #[must_use]
+    pub fn from_edges<I: IntoIterator<Item = (usize, usize)>>(n: usize, edges: I) -> Self {
+        let mut es = Self::new(n);
+        for (u, v) in edges {
+            es.activate(u, v);
+        }
+        es
+    }
+
+    /// The number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The number of undirected edges of the complete interaction graph,
+    /// i.e. `n(n−1)/2`.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.n * self.n.saturating_sub(1) / 2
+    }
+
+    /// The triangular index of the unordered pair `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is out of range.
+    #[must_use]
+    pub fn pair_index(&self, u: usize, v: usize) -> usize {
+        assert!(u != v, "self-loops are not part of the model");
+        assert!(u < self.n && v < self.n, "node index out of range");
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        // Row a starts after rows 0..a, row a has entries for b in a+1..n.
+        a * (2 * self.n - a - 1) / 2 + (b - a - 1)
+    }
+
+    /// The unordered pair corresponding to a triangular index.
+    ///
+    /// Inverse of [`pair_index`](Self::pair_index); returns `(u, v)` with
+    /// `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= pair_count()`.
+    #[must_use]
+    pub fn pair_at(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.pair_count(), "pair index out of range");
+        // Find the row by walking; rows shrink so this is O(n) worst case,
+        // which is fine for the decode-rarely use cases (tests, tracing).
+        let mut row = 0usize;
+        let mut start = 0usize;
+        loop {
+            let row_len = self.n - row - 1;
+            if idx < start + row_len {
+                return (row, row + 1 + (idx - start));
+            }
+            start += row_len;
+            row += 1;
+        }
+    }
+
+    /// Whether the edge `{u, v}` is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is out of range.
+    #[must_use]
+    pub fn is_active(&self, u: usize, v: usize) -> bool {
+        let i = self.pair_index(u, v);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets the state of edge `{u, v}`, returning the previous state.
+    pub fn set(&mut self, u: usize, v: usize, active: bool) -> bool {
+        let i = self.pair_index(u, v);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        if was != active {
+            *word ^= mask;
+            if active {
+                self.degrees[u] += 1;
+                self.degrees[v] += 1;
+                self.active += 1;
+            } else {
+                self.degrees[u] -= 1;
+                self.degrees[v] -= 1;
+                self.active -= 1;
+            }
+        }
+        was
+    }
+
+    /// Activates edge `{u, v}` (no-op if already active).
+    pub fn activate(&mut self, u: usize, v: usize) {
+        self.set(u, v, true);
+    }
+
+    /// Deactivates edge `{u, v}` (no-op if already inactive).
+    pub fn deactivate(&mut self, u: usize, v: usize) {
+        self.set(u, v, false);
+    }
+
+    /// The number of active edges incident to `u`.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> u32 {
+        self.degrees[u]
+    }
+
+    /// The total number of active edges.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Deactivates every edge.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.degrees.fill(0);
+        self.active = 0;
+    }
+
+    /// Iterator over the active neighbours of `u`, in increasing order.
+    #[must_use]
+    pub fn neighbors(&self, u: usize) -> Neighbors<'_> {
+        Neighbors {
+            es: self,
+            u,
+            v: 0,
+            remaining: self.degrees[u],
+        }
+    }
+
+    /// Iterator over all active edges as `(u, v)` pairs with `u < v`.
+    #[must_use]
+    pub fn active_edges(&self) -> ActiveEdges<'_> {
+        ActiveEdges { es: self, idx: 0 }
+    }
+
+    /// The active subgraph induced by `nodes`, relabelled to `0..nodes.len()`
+    /// in the given order.
+    ///
+    /// Used to check constructions that live on a subset of the population,
+    /// e.g. the replica built on `V₂` by Graph-Replication or the useful
+    /// space of a universal constructor.
+    #[must_use]
+    pub fn induced(&self, nodes: &[usize]) -> EdgeSet {
+        let mut sub = EdgeSet::new(nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
+                if self.is_active(u, v) {
+                    sub.activate(i, j);
+                }
+            }
+        }
+        sub
+    }
+
+    /// The multiset of node degrees, sorted ascending.
+    #[must_use]
+    pub fn degree_sequence(&self) -> Vec<u32> {
+        let mut d = self.degrees.clone();
+        d.sort_unstable();
+        d
+    }
+}
+
+impl fmt::Debug for EdgeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EdgeSet")
+            .field("n", &self.n)
+            .field("active", &self.active)
+            .field("edges", &self.active_edges().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Iterator over the active neighbours of one node.
+///
+/// Produced by [`EdgeSet::neighbors`].
+#[derive(Debug)]
+pub struct Neighbors<'a> {
+    es: &'a EdgeSet,
+    u: usize,
+    v: usize,
+    remaining: u32,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        while self.v < self.es.n {
+            let v = self.v;
+            self.v += 1;
+            if v != self.u && self.es.is_active(self.u, v) {
+                self.remaining -= 1;
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over all active edges.
+///
+/// Produced by [`EdgeSet::active_edges`].
+#[derive(Debug)]
+pub struct ActiveEdges<'a> {
+    es: &'a EdgeSet,
+    idx: usize,
+}
+
+impl Iterator for ActiveEdges<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let total = self.es.pair_count();
+        while self.idx < total {
+            let word = self.es.words[self.idx / 64];
+            if word == 0 {
+                // Skip the rest of an empty word.
+                self.idx = (self.idx / 64 + 1) * 64;
+                continue;
+            }
+            let i = self.idx;
+            self.idx += 1;
+            if word >> (i % 64) & 1 == 1 {
+                return Some(self.es.pair_at(i));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_is_bijective() {
+        let es = EdgeSet::new(9);
+        let mut seen = vec![false; es.pair_count()];
+        for u in 0..9 {
+            for v in (u + 1)..9 {
+                let i = es.pair_index(u, v);
+                assert!(!seen[i], "index {i} repeated for ({u},{v})");
+                seen[i] = true;
+                assert_eq!(es.pair_at(i), (u, v));
+                assert_eq!(es.pair_index(v, u), i, "index must be symmetric");
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn set_and_degree_bookkeeping() {
+        let mut es = EdgeSet::new(6);
+        assert!(!es.set(2, 5, true));
+        assert!(es.set(5, 2, true), "second set returns previous state");
+        assert_eq!(es.degree(2), 1);
+        assert_eq!(es.degree(5), 1);
+        assert_eq!(es.active_count(), 1);
+        es.set(2, 5, false);
+        assert_eq!(es.degree(2), 0);
+        assert_eq!(es.active_count(), 0);
+    }
+
+    #[test]
+    fn neighbors_and_edge_iteration() {
+        let es = EdgeSet::from_edges(5, [(0, 3), (3, 4), (1, 3)]);
+        assert_eq!(es.neighbors(3).collect::<Vec<_>>(), vec![0, 1, 4]);
+        assert_eq!(es.neighbors(2).count(), 0);
+        let mut edges = es.active_edges().collect::<Vec<_>>();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 3), (1, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let es = EdgeSet::from_edges(6, [(0, 2), (2, 4), (4, 0), (1, 5)]);
+        let sub = es.induced(&[0, 2, 4]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.active_count(), 3);
+        assert!(sub.is_active(0, 1) && sub.is_active(1, 2) && sub.is_active(0, 2));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut es = EdgeSet::from_edges(4, [(0, 1), (2, 3)]);
+        es.clear();
+        assert_eq!(es.active_count(), 0);
+        assert!((0..4).all(|u| es.degree(u) == 0));
+        assert_eq!(es.active_edges().count(), 0);
+    }
+
+    #[test]
+    fn tiny_populations() {
+        let es = EdgeSet::new(1);
+        assert_eq!(es.pair_count(), 0);
+        assert_eq!(es.active_count(), 0);
+        let es = EdgeSet::new(0);
+        assert_eq!(es.pair_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        EdgeSet::new(3).pair_index(1, 1);
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let es = EdgeSet::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(es.degree_sequence(), vec![1, 1, 1, 3]);
+    }
+}

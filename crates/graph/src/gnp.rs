@@ -1,0 +1,89 @@
+//! The Erdős–Rényi `G(n, p)` random-graph model.
+//!
+//! The universal constructors of Section 6 repeatedly draw a uniform random
+//! graph `G₂ ∈ G(n−k, 1/2)` on the useful space and test it against a
+//! decidable graph language. This module provides the reference generator
+//! those constructions are validated against.
+
+use rand::{Rng, RngExt};
+
+use crate::EdgeSet;
+
+/// Samples a graph from `G(n, p)`: each of the `n(n−1)/2` edges is included
+/// independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use netcon_graph::gnp::gnp;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let g = gnp(16, 0.5, &mut rng);
+/// assert!(g.active_count() <= 16 * 15 / 2);
+/// ```
+#[must_use]
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> EdgeSet {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut es = EdgeSet::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                es.activate(u, v);
+            }
+        }
+    }
+    es
+}
+
+/// Samples a graph from `G(n, 1/2)` with one fair coin per edge — the exact
+/// experiment performed by the universal constructor's drawing phase
+/// (Theorem 14: "activates or deactivates each edge equiprobably").
+#[must_use]
+pub fn gnp_half<R: Rng + ?Sized>(n: usize, rng: &mut R) -> EdgeSet {
+    let mut es = EdgeSet::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(0.5) {
+                es.activate(u, v);
+            }
+        }
+    }
+    es
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).active_count(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).active_count(), 45);
+    }
+
+    #[test]
+    fn half_density_concentrates() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 64;
+        let m = n * (n - 1) / 2;
+        let g = gnp_half(n, &mut rng);
+        let count = g.active_count() as f64;
+        // Mean m/2, sd = sqrt(m)/2 ≈ 22; allow 6 sigma.
+        assert!((count - m as f64 / 2.0).abs() < 6.0 * (m as f64).sqrt() / 2.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = gnp_half(20, &mut SmallRng::seed_from_u64(9));
+        let b = gnp_half(20, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

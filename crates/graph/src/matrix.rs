@@ -1,0 +1,160 @@
+//! Adjacency-matrix encoding of graphs for Turing-machine input.
+//!
+//! Section 6 of the paper feeds the random graph `G₂` to a space-bounded TM
+//! "in adjacency matrix encoding", so the input length is `l = Θ(n²)`. This
+//! module provides that codec: a symmetric bit matrix with a row-major
+//! bitstring serialization matching what the simulated TM reads.
+
+use crate::EdgeSet;
+
+/// A symmetric adjacency matrix with zero diagonal.
+///
+/// # Example
+///
+/// ```
+/// use netcon_graph::{matrix::AdjMatrix, EdgeSet};
+///
+/// let es = EdgeSet::from_edges(3, [(0, 2)]);
+/// let m = AdjMatrix::from(&es);
+/// assert!(m.get(2, 0));
+/// assert_eq!(m.to_bits().len(), 9);
+/// assert_eq!(EdgeSet::from(&m), es);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjMatrix {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl AdjMatrix {
+    /// Creates an empty (all-zero) `n × n` matrix.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            bits: vec![false; n * n],
+        }
+    }
+
+    /// The number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The entry at `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn get(&self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "index out of range");
+        self.bits[u * self.n + v]
+    }
+
+    /// Sets the symmetric entries `(u, v)` and `(v, u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `u == v` with `value = true`
+    /// (the diagonal must stay zero).
+    pub fn set(&mut self, u: usize, v: usize, value: bool) {
+        assert!(u < self.n && v < self.n, "index out of range");
+        assert!(!(u == v && value), "the diagonal must stay zero");
+        self.bits[u * self.n + v] = value;
+        self.bits[v * self.n + u] = value;
+    }
+
+    /// Row-major bitstring of length `n²` — the TM input encoding.
+    #[must_use]
+    pub fn to_bits(&self) -> Vec<bool> {
+        self.bits.clone()
+    }
+
+    /// Parses a row-major bitstring of length `n²`.
+    ///
+    /// Returns `None` if the length is not a perfect square or the matrix
+    /// is not symmetric with a zero diagonal.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Option<Self> {
+        let n = (bits.len() as f64).sqrt().round() as usize;
+        if n * n != bits.len() {
+            return None;
+        }
+        let m = Self {
+            n,
+            bits: bits.to_vec(),
+        };
+        for u in 0..n {
+            if m.get(u, u) {
+                return None;
+            }
+            for v in (u + 1)..n {
+                if m.get(u, v) != m.get(v, u) {
+                    return None;
+                }
+            }
+        }
+        Some(m)
+    }
+}
+
+impl From<&EdgeSet> for AdjMatrix {
+    fn from(es: &EdgeSet) -> Self {
+        let mut m = AdjMatrix::new(es.n());
+        for (u, v) in es.active_edges() {
+            m.set(u, v, true);
+        }
+        m
+    }
+}
+
+impl From<&AdjMatrix> for EdgeSet {
+    fn from(m: &AdjMatrix) -> Self {
+        let mut es = EdgeSet::new(m.n());
+        for u in 0..m.n() {
+            for v in (u + 1)..m.n() {
+                if m.get(u, v) {
+                    es.activate(u, v);
+                }
+            }
+        }
+        es
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_bits() {
+        let es = EdgeSet::from_edges(4, [(0, 1), (1, 3), (2, 3)]);
+        let m = AdjMatrix::from(&es);
+        let bits = m.to_bits();
+        let m2 = AdjMatrix::from_bits(&bits).expect("valid encoding");
+        assert_eq!(m, m2);
+        assert_eq!(EdgeSet::from(&m2), es);
+    }
+
+    #[test]
+    fn rejects_bad_encodings() {
+        // Not a perfect square.
+        assert!(AdjMatrix::from_bits(&[false; 5]).is_none());
+        // Nonzero diagonal.
+        let mut bits = vec![false; 4];
+        bits[0] = true;
+        assert!(AdjMatrix::from_bits(&bits).is_none());
+        // Asymmetric.
+        let mut bits = vec![false; 4];
+        bits[1] = true; // (0,1) set, (1,0) clear
+        assert!(AdjMatrix::from_bits(&bits).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_set_panics() {
+        AdjMatrix::new(3).set(1, 1, true);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the graph substrate.
+
+use netcon_graph::components::{connected_components, is_connected, UnionFind};
+use netcon_graph::gnp::gnp;
+use netcon_graph::iso::{are_isomorphic, isomorphism};
+use netcon_graph::matrix::AdjMatrix;
+use netcon_graph::properties::degree_histogram;
+use netcon_graph::EdgeSet;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = EdgeSet> {
+    (2usize..=max_n)
+        .prop_flat_map(|n| {
+            let m = n * (n - 1) / 2;
+            (Just(n), proptest::collection::vec(any::<bool>(), m))
+        })
+        .prop_map(|(n, bits)| {
+            let mut es = EdgeSet::new(n);
+            let mut k = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if bits[k] {
+                        es.activate(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            es
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The handshake lemma: degrees sum to twice the edge count, and the
+    /// histogram counts every node exactly once.
+    #[test]
+    fn handshake_and_histogram(es in arb_graph(10)) {
+        let degree_sum: u32 = (0..es.n()).map(|u| es.degree(u)).sum();
+        prop_assert_eq!(degree_sum as usize, 2 * es.active_count());
+        let hist = degree_histogram(&es);
+        prop_assert_eq!(hist.iter().sum::<usize>(), es.n());
+    }
+
+    /// Components partition the node set, and each component is internally
+    /// connected while cross-component edges do not exist.
+    #[test]
+    fn components_partition_nodes(es in arb_graph(10)) {
+        let comps = connected_components(&es);
+        let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..es.n()).collect::<Vec<_>>());
+        for (i, c1) in comps.iter().enumerate() {
+            for c2 in comps.iter().skip(i + 1) {
+                for &u in c1 {
+                    for &v in c2 {
+                        prop_assert!(!es.is_active(u, v), "edge across components");
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(comps.len() == 1, is_connected(&es));
+    }
+
+    /// Union-find agrees with BFS components after inserting all edges.
+    #[test]
+    fn union_find_agrees_with_bfs(es in arb_graph(10)) {
+        let mut uf = UnionFind::new(es.n());
+        for (u, v) in es.active_edges() {
+            uf.union(u, v);
+        }
+        prop_assert_eq!(uf.component_count(), connected_components(&es).len());
+        for comp in connected_components(&es) {
+            for w in &comp[1..] {
+                prop_assert!(uf.same(comp[0], *w));
+            }
+        }
+    }
+
+    /// Any permutation of a graph is isomorphic to it, and the returned
+    /// mapping is a certificate.
+    #[test]
+    fn isomorphism_under_permutation(es in arb_graph(8), seed in any::<u64>()) {
+        let n = es.n();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(seed));
+        let mut h = EdgeSet::new(n);
+        for (u, v) in es.active_edges() {
+            h.activate(perm[u], perm[v]);
+        }
+        let f = isomorphism(&es, &h);
+        prop_assert!(f.is_some());
+        let f = f.unwrap();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                prop_assert_eq!(es.is_active(u, v), h.is_active(f[u], f[v]));
+            }
+        }
+    }
+
+    /// Adding one edge to a graph makes it non-isomorphic to the original.
+    #[test]
+    fn edge_count_distinguishes(es in arb_graph(8)) {
+        let n = es.n();
+        let missing = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .find(|&(u, v)| !es.is_active(u, v));
+        prop_assume!(missing.is_some());
+        let (u, v) = missing.unwrap();
+        let mut h = es.clone();
+        h.activate(u, v);
+        prop_assert!(!are_isomorphic(&es, &h));
+    }
+
+    /// The adjacency-matrix codec is lossless.
+    #[test]
+    fn matrix_roundtrip(es in arb_graph(9)) {
+        let m = AdjMatrix::from(&es);
+        prop_assert_eq!(EdgeSet::from(&m), es.clone());
+        let m2 = AdjMatrix::from_bits(&m.to_bits()).expect("valid encoding");
+        prop_assert_eq!(m, m2);
+    }
+
+    /// G(n, p) respects its density parameter monotonically in expectation
+    /// (coarse check: p = 0 and p = 1 extremes plus count bounds).
+    #[test]
+    fn gnp_extremes(n in 2usize..20, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert_eq!(gnp(n, 0.0, &mut rng).active_count(), 0);
+        prop_assert_eq!(gnp(n, 1.0, &mut rng).active_count(), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The **2^d-neighbour doubling protocol** from the end of Section 5 —
+//! evidence that the target degree is *not* a lower bound on protocol
+//! size: `Θ(d)` states suffice for a designated node to stably acquire
+//! `2^d` neighbours.
+//!
+//! The seed node first collects 2 neighbours, then repeatedly doubles:
+//! every upgrade of an `a_i` neighbour to `a_{i+1}` is paired with the
+//! recruitment of one fresh `a_{i+1}` neighbour.
+//!
+//! ```text
+//! (q0,  a0, 0) → (q0', a1, 1)
+//! (q0', a0, 0) → (q,   a1, 1)
+//! (q,   ai, 1) → (q_{i+1}, a_{i+1}, 1)    1 ≤ i ≤ d−1
+//! (q_j, a0, 0) → (q,   a_j, 1)            2 ≤ j ≤ d
+//! ```
+
+use netcon_core::{Link, Population, ProtocolBuilder, RuleProtocol, StateId};
+
+/// State handles for a doubling instance with parameter `d`.
+///
+/// Layout: `q0 = 0`, `q0' = 1`, `q = 2`, `a_i = 3 + i` (`0 ≤ i ≤ d`),
+/// `q_j = 3 + d + (j − 1)` (`2 ≤ j ≤ d`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct States {
+    /// The doubling parameter `d` (target degree `2^d`).
+    pub d: u16,
+}
+
+impl States {
+    /// The seed's initial state `q0`.
+    #[must_use]
+    pub fn q0(self) -> StateId {
+        StateId::new(0)
+    }
+
+    /// The seed after its first recruit, `q0'`.
+    #[must_use]
+    pub fn q0p(self) -> StateId {
+        StateId::new(1)
+    }
+
+    /// The seed's idle state `q`.
+    #[must_use]
+    pub fn q(self) -> StateId {
+        StateId::new(2)
+    }
+
+    /// Non-seed state `a_i` (`0 ≤ i ≤ d`).
+    #[must_use]
+    pub fn a(self, i: u16) -> StateId {
+        assert!(i <= self.d);
+        StateId::new(3 + i)
+    }
+
+    /// The seed's pending-recruit state `q_j` (`2 ≤ j ≤ d`).
+    #[must_use]
+    pub fn pending(self, j: u16) -> StateId {
+        assert!((2..=self.d).contains(&j));
+        StateId::new(3 + self.d + (j - 1))
+    }
+}
+
+/// Builds the doubling protocol for `d ≥ 1` (the seed acquires `2^d`
+/// stable neighbours). Uses `2d + 3` states.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[must_use]
+pub fn protocol(d: u16) -> RuleProtocol {
+    assert!(d >= 1, "doubling needs d >= 1");
+    let mut b = ProtocolBuilder::new(format!("Doubling-2^{d}"));
+    let st = States { d };
+    b.state("q0");
+    b.state("q0'");
+    b.state("q");
+    for i in 0..=d {
+        b.state(format!("a{i}"));
+    }
+    for j in 2..=d {
+        b.state(format!("q{j}"));
+    }
+    let (off, on) = (Link::Off, Link::On);
+    b.rule((st.q0(), st.a(0), off), (st.q0p(), st.a(1), on));
+    b.rule((st.q0p(), st.a(0), off), (st.q(), st.a(1), on));
+    for i in 1..d {
+        b.rule((st.q(), st.a(i), on), (st.pending(i + 1), st.a(i + 1), on));
+    }
+    for j in 2..=d {
+        b.rule((st.pending(j), st.a(0), off), (st.q(), st.a(j), on));
+    }
+    b.build().expect("doubling protocol is well-formed")
+}
+
+/// The initial configuration: node 0 is the seed (`q0`), everyone else is
+/// free (`a0`).
+///
+/// # Panics
+///
+/// Panics if `n < 2^d + 1` (not enough nodes to reach the target degree).
+#[must_use]
+pub fn initial_population(n: usize, d: u16) -> Population<StateId> {
+    let st = States { d };
+    assert!(
+        n >= (1usize << d) + 1,
+        "need at least 2^d + 1 = {} nodes",
+        (1usize << d) + 1
+    );
+    let mut pop = Population::new(n, st.a(0));
+    pop.set_state(0, st.q0());
+    pop
+}
+
+/// Certifies output stability: the seed is idle in `q` with exactly `2^d`
+/// active neighbours, all saturated at level `a_d` (no rule matches
+/// `(q, a_d, 1)` or the remaining `a_0`s).
+#[must_use]
+pub fn is_stable(pop: &Population<StateId>, d: u16) -> bool {
+    let st = States { d };
+    let seed = 0usize;
+    *pop.state(seed) == st.q()
+        && pop.edges().degree(seed) as usize == 1usize << d
+        && pop
+            .edges()
+            .neighbors(seed)
+            .all(|v| *pop.state(v) == st.a(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcon_core::testing::assert_stabilizes_sim;
+    use netcon_core::Simulation;
+
+    #[test]
+    fn size_is_linear_in_d() {
+        for d in 1..=6 {
+            assert_eq!(protocol(d).size(), usize::from(2 * d + 3));
+        }
+    }
+
+    #[test]
+    fn seed_acquires_exactly_two_to_the_d_neighbors() {
+        for d in 1..=4u16 {
+            let n = (1usize << d) + 4;
+            let pop = initial_population(n, d);
+            let sim = Simulation::from_population(protocol(d), pop, u64::from(d));
+            let sim = assert_stabilizes_sim(sim, |p| is_stable(p, d), 500_000_000, 50_000);
+            assert_eq!(sim.population().edges().degree(0) as usize, 1usize << d);
+            assert!(sim.is_quiescent());
+        }
+    }
+
+    #[test]
+    fn degree_never_exceeds_target() {
+        let d = 3;
+        let pop = initial_population(16, d);
+        let mut sim = Simulation::from_population(protocol(d), pop, 5);
+        for _ in 0..200 {
+            sim.run_for(100);
+            assert!(sim.population().edges().degree(0) <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^d + 1")]
+    fn insufficient_nodes_rejected() {
+        let _ = initial_population(8, 3);
+    }
+}

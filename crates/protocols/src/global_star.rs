@@ -1,0 +1,86 @@
+//! Protocol 4: **Global-Star** — the spanning-star constructor from the
+//! paper's introduction (2 states, Θ(n² log n) expected time; optimal in
+//! both size and time, Theorems 6–7).
+//!
+//! ```text
+//! Q = {c, p},  q0 = c
+//! (c, c, 0) → (c, p, 1)   // centres duel; loser becomes peripheral
+//! (p, p, 1) → (p, p, 0)   // peripherals repel
+//! (c, p, 0) → (c, p, 1)   // centre attracts peripherals
+//! ```
+
+use netcon_core::{Link, Population, ProtocolBuilder, RuleProtocol, StateId};
+use netcon_graph::properties::is_spanning_star;
+
+/// `c` — centre (the initial state of every node).
+pub const C: StateId = StateId::new(0);
+/// `p` — peripheral.
+pub const P: StateId = StateId::new(1);
+
+/// Builds Protocol 4.
+#[must_use]
+pub fn protocol() -> RuleProtocol {
+    let mut b = ProtocolBuilder::new("Global-Star");
+    let c = b.state("c");
+    let p = b.state("p");
+    b.rule((c, c, Link::Off), (c, p, Link::On));
+    b.rule((p, p, Link::On), (p, p, Link::Off));
+    b.rule((c, p, Link::Off), (c, p, Link::On));
+    b.build().expect("Protocol 4 is well-formed")
+}
+
+/// Certifies output stability: a unique centre `c` of full degree, every
+/// peripheral of degree 1 (so no `(c,p,0)` or `(p,p,1)` rule applies, and
+/// `(c,c,0)` is impossible with one centre).
+#[must_use]
+pub fn is_stable(pop: &Population<StateId>) -> bool {
+    let centers = pop.nodes_where(|s| *s == C);
+    centers.len() == 1
+        && is_spanning_star(pop.edges())
+        && pop.edges().degree(centers[0]) as usize == pop.n() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcon_core::testing::assert_stabilizes;
+    use netcon_core::{RoundRobin, ShuffledRounds, Simulation};
+
+    #[test]
+    fn paper_metadata() {
+        let p = protocol();
+        assert_eq!(p.size(), 2, "Theorem 6: 2 states are necessary; 2 suffice");
+        assert_eq!(p.rules().len(), 3);
+    }
+
+    #[test]
+    fn constructs_spanning_star() {
+        for n in [2, 3, 4, 8, 16, 32, 64] {
+            let sim = assert_stabilizes(protocol(), n, 1, is_stable, 100_000_000, 50_000);
+            assert!(is_spanning_star(sim.population().edges()));
+            assert!(sim.is_quiescent());
+        }
+    }
+
+    #[test]
+    fn centre_count_never_increases() {
+        let mut sim = Simulation::new(protocol(), 32, 4);
+        let mut last = sim.population().count_where(|s| *s == C);
+        assert_eq!(last, 32, "all nodes start as centres");
+        for _ in 0..500 {
+            sim.run_for(100);
+            let now = sim.population().count_where(|s| *s == C);
+            assert!(now <= last, "centres can only be eliminated");
+            assert!(now >= 1, "a centre always survives");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn robust_under_fair_deterministic_schedulers() {
+        let sim = Simulation::with_scheduler(protocol(), 12, 5, RoundRobin::new());
+        netcon_core::testing::assert_stabilizes_sim(sim, is_stable, 10_000_000, 20_000);
+        let sim = Simulation::with_scheduler(protocol(), 12, 5, ShuffledRounds::new());
+        netcon_core::testing::assert_stabilizes_sim(sim, is_stable, 10_000_000, 20_000);
+    }
+}

@@ -1,0 +1,53 @@
+//! Every network-construction protocol from Michail & Spirakis (PODC 2014).
+//!
+//! Each module transcribes one protocol listing from the paper, exposes
+//!
+//! * `protocol()` — the [`RuleProtocol`](netcon_core::RuleProtocol)
+//!   (`protocol(k)` / `protocol(c)` for the parameterized families),
+//! * `is_stable(&Population)` — a predicate, derived from the paper's
+//!   correctness proof, that certifies the configuration is output-stable
+//!   (the active graph can never change again), and
+//! * helpers specific to the construction (censuses, custom initial
+//!   configurations, replica extraction).
+//!
+//! | Module | Paper | States | Expected time (uniform scheduler) |
+//! |--------|-------|--------|-----------------------------------|
+//! | [`simple_global_line`] | Protocol 1, Thm 3 | 5 | Ω(n⁴), O(n⁵) |
+//! | [`fast_global_line`] | Protocol 2, Thm 4 | 9 | O(n³) |
+//! | [`faster_global_line`] | Protocol 10, §7 | 6 | open (conjectured < Fast) |
+//! | [`cycle_cover`] | Protocol 3, Thm 5 | 3 | Θ(n²), optimal |
+//! | [`global_star`] | Protocol 4, Thms 6–7 | 2 | Θ(n² log n), optimal |
+//! | [`global_ring`] | Protocol 5, Thms 8–9 | 10 | — (Ω(n²) lower bound) |
+//! | [`krc`] | Protocols 6–7, Thms 10–11 | 2(k+1) | — (Ω(n log n) lower bound) |
+//! | [`c_cliques`] | Protocol 8, Thm 12 | 5c−3 | — (Ω(n log n) lower bound) |
+//! | [`replication`] | Protocol 9, Thm 13 | 12 | Θ(n⁴ log n) |
+//! | [`spanning_net`] | Thm 1 | 2 | Θ(n log n), optimal for spanning |
+//! | [`doubling`] | §5 (degree ≠ size) | 2d+3 | — |
+//!
+//! # Example
+//!
+//! ```
+//! use netcon_core::Simulation;
+//! use netcon_protocols::cycle_cover;
+//!
+//! let mut sim = Simulation::new(cycle_cover::protocol(), 30, 11);
+//! let outcome = sim.run_until(cycle_cover::is_stable, 1_000_000);
+//! assert!(outcome.stabilized());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c_cliques;
+pub mod catalog;
+pub mod cycle_cover;
+pub mod doubling;
+pub mod fast_global_line;
+pub mod faster_global_line;
+pub mod global_ring;
+pub mod global_star;
+pub mod krc;
+pub mod leader_line;
+pub mod replication;
+pub mod simple_global_line;
+pub mod spanning_net;

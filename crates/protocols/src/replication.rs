@@ -1,0 +1,290 @@
+//! Protocol 9: **Graph-Replication** — copies a connected input graph
+//! `G₁ = (V₁, E₁)` onto a disjoint set of nodes `V₂` with no waste
+//! (12 states, randomized, Θ(n⁴ log n) expected time; Theorem 13).
+//!
+//! The input is part of the initial configuration: `V₁` nodes start in
+//! `q0` with the edges of `E₁` active, `V₂` nodes start in `r0`. The
+//! protocol (i) matches every `V₁` node to a distinct `V₂` node,
+//! (ii) elects a unique leader on `V₁` by pairwise elimination, and
+//! (iii) lets the leader random-walk over `V₁`: on meeting a follower it
+//! flips a fair coin to either swap (walk) or mark the pair with the state
+//! of the edge between them (`a`ctive / `d`eactive). Marked nodes tell
+//! their matched `V₂` nodes, which copy the value onto the corresponding
+//! `V₂` edge and acknowledge back.
+//!
+//! Output states are `Q_out = {r, ra, rd}` — only the replica is output.
+//!
+//! ```text
+//! Q = {q0, r0, l, la, ld, f, fa, fd, r, ra, rd, r'}
+//! (q0, r0, 0) → (l, r, 1)                       // matching
+//! (l, l, x) → (l, f, x)                         // leader election
+//! (l, f, 0) →½ (ld, fd, 0)  |  →½ (f, l, 0)     // mark a non-edge / walk
+//! (l, f, 1) →½ (la, fa, 1)  |  →½ (f, l, 1)     // mark an edge / walk
+//! (xi, r, 1) → (xi, ri, 1)      x ∈ {l, f}, i ∈ {a, d}
+//! (ra, ra, ·) → (r', r', 1)                     // copy an activation
+//! (rd, rd, ·) → (r', r', 0)                     // copy a deactivation
+//! (r', xi, 1) → (r, x, 1)                       // acknowledge
+//! (li, l, x) → (li, f, x)       i ∈ {a, d}      // marked leaders still
+//! (li, lj, x) → (li, fj, x)     i, j ∈ {a, d}   // eliminate
+//! ```
+
+use netcon_core::{Link, Population, ProtocolBuilder, RuleProtocol, StateId};
+use netcon_graph::EdgeSet;
+
+/// `q0` — unmatched `V₁` node.
+pub const Q0: StateId = StateId::new(0);
+/// `r0` — unmatched `V₂` node.
+pub const R0: StateId = StateId::new(1);
+/// `l` — `V₁` leader.
+pub const L: StateId = StateId::new(2);
+/// `la` — leader marked "copy an activation".
+pub const LA: StateId = StateId::new(3);
+/// `ld` — leader marked "copy a deactivation".
+pub const LD: StateId = StateId::new(4);
+/// `f` — `V₁` follower.
+pub const F: StateId = StateId::new(5);
+/// `fa` — follower marked "copy an activation".
+pub const FA: StateId = StateId::new(6);
+/// `fd` — follower marked "copy a deactivation".
+pub const FD: StateId = StateId::new(7);
+/// `r` — matched `V₂` node (output state).
+pub const R: StateId = StateId::new(8);
+/// `ra` — `V₂` node told to activate (output state).
+pub const RA: StateId = StateId::new(9);
+/// `rd` — `V₂` node told to deactivate (output state).
+pub const RD: StateId = StateId::new(10);
+/// `r'` — `V₂` node that has copied, awaiting acknowledgement.
+pub const RP: StateId = StateId::new(11);
+
+/// Builds Protocol 9.
+///
+/// The paper's `(li, lj, x) → (li, fj, x)` is written for all
+/// `i, j ∈ {a, d}`; as δ is a partial function on unordered pairs, the
+/// mixed pair is canonicalized to `(la, ld, x) → (la, fd, x)`.
+#[must_use]
+pub fn protocol() -> RuleProtocol {
+    let mut b = ProtocolBuilder::new("Graph-Replication");
+    let q0 = b.state("q0");
+    let r0 = b.state("r0");
+    let l = b.state("l");
+    let la = b.state("la");
+    let ld = b.state("ld");
+    let f = b.state("f");
+    let fa = b.state("fa");
+    let fd = b.state("fd");
+    let r = b.state("r");
+    let ra = b.state("ra");
+    let rd = b.state("rd");
+    let rp = b.state("r'");
+    b.output_states(&[r, ra, rd]);
+    let (off, on) = (Link::Off, Link::On);
+
+    // Matching every u ∈ V1 to a distinct v ∈ V2.
+    b.rule((q0, r0, off), (l, r, on));
+    // Leader election in V1.
+    for x in [off, on] {
+        b.rule((l, l, x), (l, f, x));
+    }
+    // Leader at a non-edge / edge of G1: copy with prob. 1/2, walk else.
+    b.rule_random((l, f, off), [(1, (ld, fd, off)), (1, (f, l, off))]);
+    b.rule_random((l, f, on), [(1, (la, fa, on)), (1, (f, l, on))]);
+    // Informing the matched nodes from V2 to apply the copying.
+    for (x, xi, ri) in [(l, la, ra), (l, ld, rd), (f, fa, ra), (f, fd, rd)] {
+        let _ = x;
+        b.rule((xi, r, on), (xi, ri, on));
+    }
+    // Applying the copying in G2.
+    for x in [off, on] {
+        b.rule((ra, ra, x), (rp, rp, on));
+        b.rule((rd, rd, x), (rp, rp, off));
+    }
+    // Acknowledging: the matched V1 node unmarks.
+    for (xi, x) in [(la, l), (ld, l), (fa, f), (fd, f)] {
+        b.rule((rp, xi, on), (r, x, on));
+    }
+    // Leader election also applies to marked leaders (prevents blocking).
+    for (li, x) in [(la, off), (la, on), (ld, off), (ld, on)] {
+        let _ = x;
+        b.rule((li, l, x), (li, f, x));
+    }
+    for x in [off, on] {
+        b.rule((la, la, x), (la, fa, x));
+        b.rule((ld, ld, x), (ld, fd, x));
+        b.rule((la, ld, x), (la, fd, x));
+    }
+    b.build().expect("Protocol 9 is well-formed")
+}
+
+/// Builds the initial configuration: `g1` on nodes `0..g1.n()` (states
+/// `q0`, edges of `g1` active) and `n2` fresh nodes in `r0`.
+///
+/// # Panics
+///
+/// Panics if `n2 < g1.n()` (the replica needs at least `|V₁|` nodes).
+#[must_use]
+pub fn initial_population(g1: &EdgeSet, n2: usize) -> Population<StateId> {
+    let n1 = g1.n();
+    assert!(n2 >= n1, "replication requires |V2| >= |V1|");
+    let mut states = vec![Q0; n1];
+    states.extend(std::iter::repeat_n(R0, n2));
+    let mut edges = EdgeSet::new(n1 + n2);
+    for (u, v) in g1.active_edges() {
+        edges.activate(u, v);
+    }
+    Population::from_parts(states, edges)
+}
+
+const V1_STATES: [StateId; 7] = [Q0, L, LA, LD, F, FA, FD];
+
+/// Whether `s` is a `V₁`-side state.
+#[must_use]
+pub fn is_v1_state(s: StateId) -> bool {
+    V1_STATES.contains(&s)
+}
+
+/// The matching from `V₁` nodes to their `V₂` partners: `matching[u]` is
+/// the unique matched `V₂` node of `V₁` node `u`.
+///
+/// Returns `None` while any `V₁` node is still unmatched.
+#[must_use]
+pub fn matching(pop: &Population<StateId>) -> Option<Vec<(usize, usize)>> {
+    let mut pairs = Vec::new();
+    for u in 0..pop.n() {
+        let s = *pop.state(u);
+        if s == Q0 {
+            return None;
+        }
+        if !is_v1_state(s) {
+            continue;
+        }
+        let mut partner = None;
+        for v in pop.edges().neighbors(u) {
+            if !is_v1_state(*pop.state(v)) {
+                if partner.is_some() {
+                    return None; // mid-interaction anomaly; not matched yet
+                }
+                partner = Some(v);
+            }
+        }
+        pairs.push((u, partner?));
+    }
+    Some(pairs)
+}
+
+/// The replica: the active subgraph induced by the matched `V₂` nodes,
+/// relabelled to `0..|V₂ matched|`.
+///
+/// Note a subtlety in the paper: `Q_out = {r, ra, rd}` excludes the
+/// transient acknowledgement state `r'`, but after stabilization the
+/// unique leader keeps re-copying edges forever, so matched `V₂` nodes
+/// keep passing through `r'` — under a strictly literal reading the
+/// output *node set* would fluctuate forever even though the replica's
+/// edge set is stable. We therefore treat all matched `V₂` states
+/// (`r, ra, rd, r'`) as the replica's nodes; unmatched spares (`r0`)
+/// remain excluded.
+#[must_use]
+pub fn replica(pop: &Population<StateId>) -> EdgeSet {
+    let v2: Vec<usize> = pop.nodes_where(|s| matches!(*s, R | RA | RD | RP));
+    pop.edges().induced(&v2)
+}
+
+/// Certifies output stability: every `V₁` node matched, a unique leader,
+/// no marks in flight anywhere, and the `V₂` graph equal to `G₁` under
+/// the matching.
+///
+/// From such a configuration every future copy rewrites an edge to the
+/// value it already has, so the output never changes (Theorem 13).
+#[must_use]
+pub fn is_stable(pop: &Population<StateId>) -> bool {
+    let leaders = pop.count_where(|s| matches!(*s, L | LA | LD));
+    if leaders != 1 {
+        return false;
+    }
+    if pop.count_where(|s| matches!(*s, Q0 | LA | LD | FA | FD | RA | RD | RP)) != 0 {
+        return false;
+    }
+    let Some(pairs) = matching(pop) else {
+        return false;
+    };
+    for (i, &(u, mu)) in pairs.iter().enumerate() {
+        for &(v, mv) in &pairs[i + 1..] {
+            if pop.edges().is_active(u, v) != pop.edges().is_active(mu, mv) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcon_core::testing::assert_stabilizes_sim;
+    use netcon_core::{Machine, Simulation};
+    use netcon_graph::iso::are_isomorphic;
+
+    #[test]
+    fn paper_metadata() {
+        let p = protocol();
+        assert_eq!(p.size(), 12, "Table 2: Graph-Replication uses 12 states");
+        assert!(p.is_output(&R) && p.is_output(&RA) && p.is_output(&RD));
+        assert!(!p.is_output(&RP) && !p.is_output(&L) && !p.is_output(&Q0));
+    }
+
+    fn replicate(g1: &EdgeSet, n2: usize, seed: u64) -> Population<StateId> {
+        let pop = initial_population(g1, n2);
+        let sim = Simulation::from_population(protocol(), pop, seed);
+        let sim = assert_stabilizes_sim(sim, is_stable, 4_000_000_000, 100_000);
+        sim.population().clone()
+    }
+
+    #[test]
+    fn replicates_a_path() {
+        let g1 = EdgeSet::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let pop = replicate(&g1, 4, 3);
+        assert!(are_isomorphic(&replica(&pop), &g1));
+    }
+
+    #[test]
+    fn replicates_a_triangle_with_spare_nodes() {
+        let g1 = EdgeSet::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let pop = replicate(&g1, 5, 1);
+        // The two spare V2 nodes stay in r0 and are not part of the output.
+        assert_eq!(pop.count_where(|s| *s == R0), 2);
+        assert!(are_isomorphic(&replica(&pop), &g1));
+    }
+
+    #[test]
+    fn replicates_a_star() {
+        let g1 = EdgeSet::from_edges(5, (1..5).map(|v| (0, v)));
+        let pop = replicate(&g1, 5, 7);
+        assert!(are_isomorphic(&replica(&pop), &g1));
+    }
+
+    #[test]
+    fn v1_edges_are_never_modified() {
+        let g1 = EdgeSet::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pop0 = initial_population(&g1, 4);
+        let mut sim = Simulation::from_population(protocol(), pop0, 9);
+        for _ in 0..100 {
+            sim.run_for(500);
+            let pop = sim.population();
+            for u in 0..4 {
+                for v in (u + 1)..4 {
+                    assert_eq!(
+                        pop.edges().is_active(u, v),
+                        g1.is_active(u, v),
+                        "E1 must be invariant"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "|V2| >= |V1|")]
+    fn too_few_replica_nodes_rejected() {
+        let g1 = EdgeSet::from_edges(3, [(0, 1)]);
+        let _ = initial_population(&g1, 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Space-bounded Turing-machine substrate for the universal constructors
+//! of Section 6.
+//!
+//! The generic constructors of the paper organize part of the population
+//! into a line that simulates a space-bounded TM deciding a graph language
+//! `L ∈ DGS(f(l))`, where `l = Θ(n²)` is the length of the adjacency-
+//! matrix encoding of the candidate graph. This crate provides:
+//!
+//! * [`machine`] — a single-tape TM interpreter with an explicit space
+//!   bound (the tape *is* the allocated space; falling off either end is
+//!   an out-of-space fault, exactly the constraint the simulating line
+//!   imposes), plus a builder for writing machines by hand;
+//! * [`machines`] — concrete example machines (bit-parity, all-zeros) used
+//!   to validate both the interpreter and the population-line simulation
+//!   in `netcon-universal`;
+//! * [`decider`] — the [`GraphLanguage`](decider::GraphLanguage) interface
+//!   consumed by the universal constructors, with a library of languages
+//!   (connectivity, edge-count thresholds, triangle-freeness,
+//!   bipartiteness, regularity, Hamiltonicity) whose workspace use is
+//!   metered against a declared space bound.
+//!
+//! # Example
+//!
+//! ```
+//! use netcon_tm::machine::{Halt, Tape};
+//! use netcon_tm::machines::parity_machine;
+//!
+//! let tm = parity_machine();
+//! // 3 ones → odd → reject; input written as bits, one cell each.
+//! let mut tape = Tape::from_bits(&[true, false, true, true], 8);
+//! assert_eq!(tm.run(&mut tape, 10_000), Halt::Reject);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decider;
+pub mod machine;
+pub mod machines;

@@ -1,0 +1,425 @@
+//! The space-bounded single-tape Turing-machine interpreter.
+
+use std::collections::HashMap;
+
+/// Head movement of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Move one cell left.
+    Left,
+    /// Move one cell right.
+    Right,
+    /// Stay on the current cell.
+    Stay,
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// The machine entered its accepting state.
+    Accept,
+    /// The machine entered its rejecting state.
+    Reject,
+    /// The head tried to leave the allocated tape — the space bound was
+    /// exceeded (the simulating line has no cell there).
+    OutOfSpace,
+    /// The step budget was exhausted before halting.
+    OutOfFuel,
+    /// No transition was defined for the current (state, symbol) pair.
+    Stuck,
+}
+
+/// A fixed-length tape: the machine's entire allocated space.
+///
+/// Cell values are small symbol ids; [`Tape::from_bits`] encodes a
+/// bitstring (e.g. an adjacency matrix row-major encoding) using symbols
+/// `0`/`1` followed by blanks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tape {
+    cells: Vec<u8>,
+    head: usize,
+}
+
+/// The blank symbol: every machine built by [`TmBuilder`] reserves 2 as
+/// blank (0 and 1 encode input bits).
+pub const BLANK: u8 = 2;
+
+impl Tape {
+    /// A tape of `space` blank cells with the head at cell 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0`.
+    #[must_use]
+    pub fn blank(space: usize) -> Self {
+        assert!(space > 0, "a tape needs at least one cell");
+        Self {
+            cells: vec![BLANK; space],
+            head: 0,
+        }
+    }
+
+    /// A tape of `space` cells whose prefix holds `bits` (0/1 symbols),
+    /// the rest blank; head at cell 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space < bits.len()` or `space == 0`.
+    #[must_use]
+    pub fn from_bits(bits: &[bool], space: usize) -> Self {
+        assert!(space >= bits.len(), "input does not fit in the tape");
+        let mut t = Self::blank(space);
+        for (i, &b) in bits.iter().enumerate() {
+            t.cells[i] = u8::from(b);
+        }
+        t
+    }
+
+    /// The symbol under the head.
+    #[must_use]
+    pub fn read(&self) -> u8 {
+        self.cells[self.head]
+    }
+
+    /// The head position.
+    #[must_use]
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// The tape contents.
+    #[must_use]
+    pub fn cells(&self) -> &[u8] {
+        &self.cells
+    }
+}
+
+/// A deterministic single-tape Turing machine with named states and a
+/// dense transition table.
+///
+/// Build with [`TmBuilder`]; run with [`TuringMachine::run`].
+#[derive(Debug, Clone)]
+pub struct TuringMachine {
+    name: String,
+    state_names: Vec<String>,
+    symbols: u8,
+    start: u16,
+    accept: u16,
+    reject: u16,
+    /// `delta[state * symbols + symbol]`.
+    delta: Vec<Option<(u16, u8, Move)>>,
+}
+
+impl TuringMachine {
+    /// The machine's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of control states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Number of tape symbols.
+    #[must_use]
+    pub fn symbol_count(&self) -> u8 {
+        self.symbols
+    }
+
+    /// The start state id.
+    #[must_use]
+    pub fn start_state(&self) -> u16 {
+        self.start
+    }
+
+    /// Whether `state` is the accept state.
+    #[must_use]
+    pub fn is_accept(&self, state: u16) -> bool {
+        state == self.accept
+    }
+
+    /// Whether `state` is the reject state.
+    #[must_use]
+    pub fn is_reject(&self, state: u16) -> bool {
+        state == self.reject
+    }
+
+    /// The transition for `(state, symbol)`, if any.
+    #[must_use]
+    pub fn transition(&self, state: u16, symbol: u8) -> Option<(u16, u8, Move)> {
+        self.delta[state as usize * self.symbols as usize + symbol as usize]
+    }
+
+    /// Runs the machine on `tape` for at most `fuel` steps.
+    pub fn run(&self, tape: &mut Tape, fuel: u64) -> Halt {
+        let mut state = self.start;
+        for _ in 0..fuel {
+            if state == self.accept {
+                return Halt::Accept;
+            }
+            if state == self.reject {
+                return Halt::Reject;
+            }
+            let sym = tape.read();
+            let Some((next, write, mv)) = self.transition(state, sym) else {
+                return Halt::Stuck;
+            };
+            tape.cells[tape.head] = write;
+            state = next;
+            match mv {
+                Move::Stay => {}
+                Move::Left => {
+                    if tape.head == 0 {
+                        return Halt::OutOfSpace;
+                    }
+                    tape.head -= 1;
+                }
+                Move::Right => {
+                    if tape.head + 1 == tape.cells.len() {
+                        return Halt::OutOfSpace;
+                    }
+                    tape.head += 1;
+                }
+            }
+        }
+        if state == self.accept {
+            Halt::Accept
+        } else if state == self.reject {
+            Halt::Reject
+        } else {
+            Halt::OutOfFuel
+        }
+    }
+
+    /// Executes a single step from `(state, head)` on `tape`, returning
+    /// the next control state. Exposed so the population-line simulation
+    /// in `netcon-universal` can drive the same machine one interaction
+    /// at a time and be checked against [`run`](Self::run).
+    ///
+    /// Returns `None` when no transition is defined.
+    #[must_use]
+    pub fn step(&self, state: u16, tape: &mut Tape) -> Option<(u16, Halt)> {
+        if state == self.accept {
+            return Some((state, Halt::Accept));
+        }
+        if state == self.reject {
+            return Some((state, Halt::Reject));
+        }
+        let sym = tape.read();
+        let (next, write, mv) = self.transition(state, sym)?;
+        tape.cells[tape.head] = write;
+        match mv {
+            Move::Stay => {}
+            Move::Left => {
+                if tape.head == 0 {
+                    return Some((next, Halt::OutOfSpace));
+                }
+                tape.head -= 1;
+            }
+            Move::Right => {
+                if tape.head + 1 == tape.cells.len() {
+                    return Some((next, Halt::OutOfSpace));
+                }
+                tape.head += 1;
+            }
+        }
+        Some((next, Halt::OutOfFuel)) // OutOfFuel = "still running"
+    }
+}
+
+/// Builder for [`TuringMachine`]s with named states.
+///
+/// Symbols are raw `u8` ids: by convention `0`/`1` are the input bits and
+/// [`BLANK`] (= 2) is the blank; machines may use further symbols as
+/// markers.
+///
+/// # Example
+///
+/// ```
+/// use netcon_tm::machine::{Halt, Move, Tape, TmBuilder, BLANK};
+///
+/// // Accept iff the input starts with a 1.
+/// let mut b = TmBuilder::new("starts-with-one", 3);
+/// let s = b.state("scan");
+/// b.rule(s, 1, b.accept(), 1, Move::Stay);
+/// b.rule(s, 0, b.reject(), 0, Move::Stay);
+/// b.rule(s, BLANK, b.reject(), BLANK, Move::Stay);
+/// let tm = b.build(s);
+/// assert_eq!(tm.run(&mut Tape::from_bits(&[true], 4), 100), Halt::Accept);
+/// ```
+#[derive(Debug)]
+pub struct TmBuilder {
+    name: String,
+    symbols: u8,
+    state_names: Vec<String>,
+    by_name: HashMap<String, u16>,
+    rules: Vec<(u16, u8, u16, u8, Move)>,
+}
+
+impl TmBuilder {
+    /// Creates a builder for a machine over `symbols` tape symbols
+    /// (`0..symbols`); `accept`/`reject` states are pre-declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbols < 3` (inputs need 0, 1 and blank).
+    #[must_use]
+    pub fn new(name: impl Into<String>, symbols: u8) -> Self {
+        assert!(symbols >= 3, "need at least symbols 0, 1 and blank");
+        let mut b = Self {
+            name: name.into(),
+            symbols,
+            state_names: Vec::new(),
+            by_name: HashMap::new(),
+            rules: Vec::new(),
+        };
+        let _ = b.state("accept");
+        let _ = b.state("reject");
+        b
+    }
+
+    /// The accept state.
+    #[must_use]
+    pub fn accept(&self) -> u16 {
+        0
+    }
+
+    /// The reject state.
+    #[must_use]
+    pub fn reject(&self) -> u16 {
+        1
+    }
+
+    /// Declares (or looks up) a control state.
+    pub fn state(&mut self, name: impl Into<String>) -> u16 {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = u16::try_from(self.state_names.len()).expect("too many states");
+        self.by_name.insert(name.clone(), id);
+        self.state_names.push(name);
+        id
+    }
+
+    /// Adds the transition `(state, read) → (next, write, move)`.
+    pub fn rule(&mut self, state: u16, read: u8, next: u16, write: u8, mv: Move) -> &mut Self {
+        self.rules.push((state, read, next, write, mv));
+        self
+    }
+
+    /// Finalizes the machine with the given start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule references an undeclared state/symbol or redefines
+    /// a `(state, symbol)` pair.
+    #[must_use]
+    pub fn build(&self, start: u16) -> TuringMachine {
+        let n = self.state_names.len();
+        let mut delta = vec![None; n * self.symbols as usize];
+        for &(s, r, next, w, mv) in &self.rules {
+            assert!((s as usize) < n && (next as usize) < n, "undeclared state");
+            assert!(r < self.symbols && w < self.symbols, "undeclared symbol");
+            let slot = &mut delta[s as usize * self.symbols as usize + r as usize];
+            assert!(
+                slot.is_none(),
+                "duplicate rule for ({}, {r})",
+                self.state_names[s as usize]
+            );
+            *slot = Some((next, w, mv));
+        }
+        TuringMachine {
+            name: self.name.clone(),
+            state_names: self.state_names.clone(),
+            symbols: self.symbols,
+            start,
+            accept: 0,
+            reject: 1,
+            delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tape_roundtrip() {
+        let t = Tape::from_bits(&[true, false, true], 5);
+        assert_eq!(t.cells(), &[1, 0, 1, BLANK, BLANK]);
+        assert_eq!(t.read(), 1);
+    }
+
+    #[test]
+    fn out_of_space_is_detected() {
+        // A machine that runs right forever.
+        let mut b = TmBuilder::new("runner", 3);
+        let s = b.state("go");
+        for sym in 0..3 {
+            b.rule(s, sym, s, sym, Move::Right);
+        }
+        let tm = b.build(s);
+        let mut tape = Tape::blank(4);
+        assert_eq!(tm.run(&mut tape, 100), Halt::OutOfSpace);
+        // And left off the start cell as well.
+        let mut b = TmBuilder::new("lefty", 3);
+        let s = b.state("go");
+        b.rule(s, BLANK, s, BLANK, Move::Left);
+        let tm = b.build(s);
+        assert_eq!(tm.run(&mut Tape::blank(4), 100), Halt::OutOfSpace);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut b = TmBuilder::new("spinner", 3);
+        let s = b.state("spin");
+        b.rule(s, BLANK, s, BLANK, Move::Stay);
+        let tm = b.build(s);
+        assert_eq!(tm.run(&mut Tape::blank(2), 10), Halt::OutOfFuel);
+    }
+
+    #[test]
+    fn stuck_on_missing_rule() {
+        let mut b = TmBuilder::new("partial", 3);
+        let s = b.state("s");
+        b.rule(s, BLANK, s, BLANK, Move::Stay);
+        let tm = b.build(s);
+        assert_eq!(tm.run(&mut Tape::from_bits(&[true], 2), 10), Halt::Stuck);
+    }
+
+    #[test]
+    fn step_matches_run() {
+        let tm = crate::machines::parity_machine();
+        let bits = [true, true, false, true];
+        let mut t1 = Tape::from_bits(&bits, 8);
+        let expect = tm.run(&mut t1, 1_000);
+        let mut t2 = Tape::from_bits(&bits, 8);
+        let mut state = tm.start_state();
+        let mut result = Halt::OutOfFuel;
+        for _ in 0..1_000 {
+            let (next, halt) = tm.step(state, &mut t2).expect("no stuck");
+            state = next;
+            if halt != Halt::OutOfFuel {
+                result = halt;
+                break;
+            }
+        }
+        assert_eq!(result, expect);
+        assert_eq!(t1, t2, "step-wise execution matches batch execution");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rule")]
+    fn duplicate_rules_rejected() {
+        let mut b = TmBuilder::new("dup", 3);
+        let s = b.state("s");
+        b.rule(s, 0, s, 0, Move::Stay);
+        b.rule(s, 0, s, 1, Move::Stay);
+        let _ = b.build(s);
+    }
+}

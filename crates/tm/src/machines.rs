@@ -1,0 +1,120 @@
+//! Concrete example Turing machines.
+//!
+//! These small machines serve two purposes: they validate the interpreter
+//! against hand-computable languages, and they are the reference workload
+//! for the population-line TM simulation of `netcon-universal` (Fig. 5 of
+//! the paper), which must agree with [`TuringMachine::run`] step by step.
+
+use crate::machine::{Move, TmBuilder, TuringMachine, BLANK};
+
+/// A machine accepting bitstrings with an even number of `1`s.
+///
+/// Scans right, tracking parity in the control state; accepts/rejects on
+/// the first blank. For a graph in adjacency-matrix encoding this decides
+/// "the graph has an even number of edges" (each edge contributes two
+/// `1`s, so every graph is accepted — useful as an always-true language
+/// with a non-trivial run).
+#[must_use]
+pub fn parity_machine() -> TuringMachine {
+    let mut b = TmBuilder::new("even-ones", 3);
+    let even = b.state("even");
+    let odd = b.state("odd");
+    b.rule(even, 0, even, 0, Move::Right);
+    b.rule(even, 1, odd, 1, Move::Right);
+    b.rule(even, BLANK, b.accept(), BLANK, Move::Stay);
+    b.rule(odd, 0, odd, 0, Move::Right);
+    b.rule(odd, 1, even, 1, Move::Right);
+    b.rule(odd, BLANK, b.reject(), BLANK, Move::Stay);
+    b.build(even)
+}
+
+/// A machine accepting the all-zero string (for graphs: the empty graph).
+#[must_use]
+pub fn all_zeros_machine() -> TuringMachine {
+    let mut b = TmBuilder::new("all-zeros", 3);
+    let scan = b.state("scan");
+    b.rule(scan, 0, scan, 0, Move::Right);
+    b.rule(scan, 1, b.reject(), 1, Move::Stay);
+    b.rule(scan, BLANK, b.accept(), BLANK, Move::Stay);
+    b.build(scan)
+}
+
+/// A machine that flips every bit of its input, then accepts — exercises
+/// writes, used by the line-simulation tests to check tape mutation.
+#[must_use]
+pub fn bit_flipper() -> TuringMachine {
+    let mut b = TmBuilder::new("bit-flipper", 3);
+    let scan = b.state("scan");
+    b.rule(scan, 0, scan, 1, Move::Right);
+    b.rule(scan, 1, scan, 0, Move::Right);
+    b.rule(scan, BLANK, b.accept(), BLANK, Move::Stay);
+    b.build(scan)
+}
+
+/// A machine that zig-zags: walks to the last non-blank cell, comes back
+/// to the first cell, then accepts. Exercises both head directions for
+/// the line-simulation tests (the `l`/`r` direction marks of Fig. 5).
+#[must_use]
+pub fn zigzag_machine() -> TuringMachine {
+    // Symbol 3 marks the left end once visited.
+    let mut b = TmBuilder::new("zigzag", 4);
+    let right = b.state("right");
+    let left = b.state("left");
+    // Mark the first cell so the return trip can find it.
+    let start = b.state("start");
+    for sym in [0u8, 1] {
+        b.rule(start, sym, right, 3, Move::Right);
+        b.rule(right, sym, right, sym, Move::Right);
+        b.rule(left, sym, left, sym, Move::Left);
+    }
+    b.rule(start, BLANK, b.accept(), BLANK, Move::Stay);
+    b.rule(right, BLANK, left, BLANK, Move::Left);
+    b.rule(left, 3, b.accept(), 3, Move::Stay);
+    b.build(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Halt, Tape};
+
+    #[test]
+    fn parity_accepts_even_rejects_odd() {
+        let tm = parity_machine();
+        for (bits, want) in [
+            (vec![], Halt::Accept),
+            (vec![true], Halt::Reject),
+            (vec![true, true], Halt::Accept),
+            (vec![true, false, true, true], Halt::Reject),
+            (vec![false, false], Halt::Accept),
+        ] {
+            let mut tape = Tape::from_bits(&bits, bits.len() + 2);
+            assert_eq!(tm.run(&mut tape, 10_000), want, "bits {bits:?}");
+        }
+    }
+
+    #[test]
+    fn all_zeros() {
+        let tm = all_zeros_machine();
+        let mut t = Tape::from_bits(&[false, false, false], 5);
+        assert_eq!(tm.run(&mut t, 100), Halt::Accept);
+        let mut t = Tape::from_bits(&[false, true], 5);
+        assert_eq!(tm.run(&mut t, 100), Halt::Reject);
+    }
+
+    #[test]
+    fn flipper_flips() {
+        let tm = bit_flipper();
+        let mut t = Tape::from_bits(&[true, false, true], 5);
+        assert_eq!(tm.run(&mut t, 100), Halt::Accept);
+        assert_eq!(&t.cells()[..3], &[0, 1, 0]);
+    }
+
+    #[test]
+    fn zigzag_returns_home() {
+        let tm = zigzag_machine();
+        let mut t = Tape::from_bits(&[true, true, false, true], 6);
+        assert_eq!(tm.run(&mut t, 1_000), Halt::Accept);
+        assert_eq!(t.head(), 0, "head must end on the first cell");
+    }
+}

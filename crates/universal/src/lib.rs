@@ -1,0 +1,48 @@
+//! Generic (universal) network constructors — Section 6 of Michail &
+//! Spirakis (PODC 2014).
+//!
+//! The paper's headline universality results build every construction
+//! from the same ingredients, all implemented here at the
+//! pairwise-interaction level:
+//!
+//! * [`partition`] — the U–D partition of Theorem 14 (Fig. 4) and the
+//!   U–D–M partition of Theorem 15 (Figs. 7–8), as verbatim rule lists;
+//! * [`line_tm`] — simulating a Turing machine on a self-assembled line
+//!   with the `l`/`r`/`t` direction marks of Fig. 5, validated
+//!   step-for-step against the reference interpreter in `netcon-tm`;
+//! * [`constructor`] — the full Theorem 14 pipeline: measure the line,
+//!   draw `G₂ ∈ G(m, ½)` equiprobably on the useful space by marking
+//!   matched pairs (Fig. 6), decide `G₂ ∈ L`, redraw on reject and
+//!   release on accept (Fig. 3's loop);
+//! * [`supernodes`] — Theorem 18: organizing the population into `k`
+//!   named supernodes, each a line of `⌈log k⌉` nodes with its name
+//!   stored bitwise in its members.
+//!
+//! # Example
+//!
+//! ```
+//! use netcon_core::Simulation;
+//! use netcon_tm::decider::Connected;
+//! use netcon_universal::constructor::{
+//!     drawn_graph, is_stable, UniversalConstructor,
+//! };
+//!
+//! // 8 nodes: 4 columns of waste construct a connected graph on the
+//! // other 4.
+//! let pop = UniversalConstructor::initial_population(4);
+//! let uc = UniversalConstructor::new(Box::new(Connected));
+//! let mut sim = Simulation::from_population(uc, pop, 99);
+//! let out = sim.run_until(is_stable, 1_000_000_000);
+//! assert!(out.stabilized());
+//! assert!(netcon_graph::components::is_connected(&drawn_graph(
+//!     sim.population()
+//! )));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constructor;
+pub mod line_tm;
+pub mod partition;
+pub mod supernodes;

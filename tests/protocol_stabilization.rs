@@ -1,0 +1,129 @@
+//! Integration: every protocol in the catalogue, driven purely through
+//! the public facade, stabilizes to its target shape and stays there.
+
+use netcon::core::testing::assert_stabilizes;
+use netcon::core::{Population, Simulation, StateId};
+use netcon::graph::properties::{
+    is_clique_partition, is_cycle_cover_with_waste, is_krc_relaxed, is_spanning_line,
+    is_spanning_net, is_spanning_ring, is_spanning_star,
+};
+use netcon::protocols::*;
+
+#[test]
+fn every_table2_entry_builds() {
+    for e in catalog::table2() {
+        assert!(e.protocol.size() >= 2, "{} is degenerate", e.name);
+        assert_eq!(e.protocol.size(), e.paper_states, "{}", e.name);
+    }
+}
+
+#[test]
+fn lines_rings_stars_covers() {
+    let n = 10;
+    let seed = 123;
+
+    let sim = assert_stabilizes(
+        simple_global_line::protocol(),
+        n,
+        seed,
+        simple_global_line::is_stable,
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_spanning_line(sim.population().edges()));
+
+    let sim = assert_stabilizes(
+        fast_global_line::protocol(),
+        n,
+        seed,
+        fast_global_line::is_stable,
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_spanning_line(sim.population().edges()));
+
+    let sim = assert_stabilizes(
+        global_star::protocol(),
+        n,
+        seed,
+        global_star::is_stable,
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_spanning_star(sim.population().edges()));
+
+    let sim = assert_stabilizes(
+        global_ring::protocol(),
+        n,
+        seed,
+        global_ring::is_stable,
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_spanning_ring(sim.population().edges()));
+
+    let sim = assert_stabilizes(
+        cycle_cover::protocol(),
+        n,
+        seed,
+        cycle_cover::is_stable,
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_cycle_cover_with_waste(sim.population().edges(), 2));
+
+    let sim = assert_stabilizes(
+        spanning_net::protocol(),
+        n,
+        seed,
+        spanning_net::is_stable,
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_spanning_net(sim.population().edges()));
+}
+
+#[test]
+fn regular_networks_and_cliques() {
+    let sim = assert_stabilizes(
+        krc::protocol(2),
+        9,
+        5,
+        |p: &Population<StateId>| krc::is_stable(p, 2),
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_spanning_ring(sim.population().edges()));
+
+    let sim = assert_stabilizes(
+        krc::protocol(3),
+        10,
+        5,
+        |p: &Population<StateId>| krc::is_stable(p, 3),
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_krc_relaxed(sim.population().edges(), 3));
+
+    let sim = assert_stabilizes(
+        c_cliques::protocol(3),
+        9,
+        5,
+        |p: &Population<StateId>| c_cliques::is_stable(p, 3),
+        u64::MAX,
+        20_000,
+    );
+    assert!(is_clique_partition(sim.population().edges(), 3));
+}
+
+#[test]
+fn convergence_is_reproducible_per_seed() {
+    let run = |seed: u64| {
+        let mut sim = Simulation::new(global_star::protocol(), 20, seed);
+        sim.run_until(global_star::is_stable, u64::MAX)
+            .converged_at()
+            .expect("stabilizes")
+    };
+    assert_eq!(run(1), run(1));
+    assert_ne!(run(1), run(2), "different seeds give different executions");
+}

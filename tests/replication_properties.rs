@@ -1,0 +1,55 @@
+//! Property-based integration tests for Graph-Replication: for random
+//! connected inputs, the stable replica is isomorphic to the input and
+//! the input itself is never disturbed.
+
+use netcon::core::Simulation;
+use netcon::graph::components::is_connected;
+use netcon::graph::iso::are_isomorphic;
+use netcon::graph::EdgeSet;
+use netcon::protocols::replication;
+use proptest::prelude::*;
+
+/// A random connected graph on 3..=5 nodes: a random tree plus random
+/// extra edges.
+fn connected_graph() -> impl Strategy<Value = EdgeSet> {
+    (3usize..=5)
+        .prop_flat_map(|n| {
+            let parents: Vec<_> = (1..n).map(|v| (0..v).prop_map(move |p| (p, v))).collect();
+            let extras = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
+            (Just(n), parents, extras)
+        })
+        .prop_map(|(n, tree, extras)| {
+            let mut es = EdgeSet::from_edges(n, tree);
+            let mut k = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if extras[k] {
+                        es.activate(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            es
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn replica_is_isomorphic_to_input(g1 in connected_graph(), spare in 0usize..2, seed in 0u64..1000) {
+        prop_assert!(is_connected(&g1));
+        let pop = replication::initial_population(&g1, g1.n() + spare);
+        let mut sim = Simulation::from_population(replication::protocol(), pop, seed);
+        let outcome = sim.run_until(replication::is_stable, u64::MAX);
+        prop_assert!(outcome.stabilized());
+        let replica = replication::replica(sim.population());
+        prop_assert!(are_isomorphic(&replica, &g1), "replica {replica:?} vs input {g1:?}");
+        // The input graph is untouched.
+        for u in 0..g1.n() {
+            for v in (u + 1)..g1.n() {
+                prop_assert_eq!(sim.population().edges().is_active(u, v), g1.is_active(u, v));
+            }
+        }
+    }
+}
