@@ -27,11 +27,13 @@ fn measure<S: Scheduler>(
         .expect("constructors stabilize under fair schedulers") as f64
 }
 
+type Entry = (&'static str, RuleProtocol, fn(&Population<StateId>) -> bool);
+
 fn main() {
     let n = 48;
     let trials = scale(10) as u64;
     println!("=== Ablation: scheduler sensitivity (n = {n}, {trials} trials) ===\n");
-    let entries: [(&str, RuleProtocol, fn(&Population<StateId>) -> bool); 4] = [
+    let entries: [Entry; 4] = [
         ("Global-Star", global_star::protocol(), global_star::is_stable),
         ("Cycle-Cover", cycle_cover::protocol(), cycle_cover::is_stable),
         (

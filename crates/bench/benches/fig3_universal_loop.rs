@@ -38,13 +38,15 @@ fn mean_rejections(make: &dyn Fn() -> Box<dyn GraphLanguage + Send + Sync>, m: u
     (f64::from(rej) / f64::from(trials as u32), steps as f64 / f64::from(trials as u32))
 }
 
+type LangFactory = Box<dyn Fn() -> Box<dyn GraphLanguage + Send + Sync>>;
+
 fn main() {
     println!("=== Fig. 3: draw → decide → repeat-until-accept loop ===\n");
     println!(
         "{:<22} {:>3} {:>14} {:>16} {:>14}",
         "language", "m", "P[accept]", "E[rejects] thy", "rejects meas"
     );
-    let langs: Vec<(&str, Box<dyn Fn() -> Box<dyn GraphLanguage + Send + Sync>>)> = vec![
+    let langs: Vec<(&str, LangFactory)> = vec![
         ("connected", Box::new(|| Box::new(Connected))),
         ("triangle-free", Box::new(|| Box::new(TriangleFree))),
         (

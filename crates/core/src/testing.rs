@@ -7,6 +7,35 @@
 
 use crate::{Machine, Population, RunOutcome, Scheduler, Simulation, Uniform};
 
+/// A generous-but-finite step budget for convergence tests at population
+/// size `n`.
+///
+/// The slowest constructor exercised by the test suites is
+/// Simple-Global-Line at O(n⁵) expected interactions; `1000·n⁴` clears the
+/// observed convergence times at the suite's population sizes (n ≤ 32) by
+/// two to three orders of magnitude while still failing fast — minutes, not
+/// forever — when a protocol genuinely diverges. Tests should pass this
+/// instead of `u64::MAX` so a regression cannot hang `cargo test`.
+///
+/// The `NETCON_TEST_STEP_BUDGET` environment variable overrides the
+/// computed value (useful for bisecting a slow protocol or tightening CI).
+#[must_use]
+pub fn step_budget(n: usize) -> u64 {
+    if let Some(v) = std::env::var("NETCON_TEST_STEP_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        return v;
+    }
+    let n = n as u64;
+    1_000u64
+        .saturating_mul(n)
+        .saturating_mul(n)
+        .saturating_mul(n)
+        .saturating_mul(n)
+        .max(10_000_000)
+}
+
 /// Runs `machine` on `n` fresh nodes until `stable` holds, then continues
 /// for `extra` steps asserting the active-edge set no longer changes.
 /// Returns the simulation at the end for further inspection.

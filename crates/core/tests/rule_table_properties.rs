@@ -113,3 +113,93 @@ proptest! {
         }
     }
 }
+
+// --- Scheduler fairness invariants -----------------------------------------
+
+use netcon_core::{RoundRobin, Scheduler, ShuffledRounds, Uniform};
+
+/// Collects `steps` pairs, asserting each is valid for population size `n`.
+fn collect_valid_pairs<S: Scheduler>(
+    mut s: S,
+    n: usize,
+    steps: usize,
+    seed: u64,
+) -> Result<Vec<(usize, usize)>, proptest::TestCaseError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let (u, v) = s.next_pair(n, &mut rng);
+        prop_assert!(u != v, "{}: self-interaction ({u}, {u})", s.name());
+        prop_assert!(u < n && v < n, "{}: pair ({u}, {v}) out of range n={n}", s.name());
+        pairs.push((u.min(v), u.max(v)));
+    }
+    Ok(pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The uniform random scheduler only emits valid pairs, and within a
+    /// coupon-collector window it visits *every* pair (fairness holds with
+    /// probability 1; at 64·m draws a miss has probability ≈ m·e⁻⁶⁴).
+    #[test]
+    fn uniform_scheduler_is_fair(n in 2usize..10, seed in any::<u64>()) {
+        let m = n * (n - 1) / 2;
+        let pairs = collect_valid_pairs(Uniform, n, 64 * m, seed)?;
+        let distinct: std::collections::HashSet<_> = pairs.into_iter().collect();
+        prop_assert_eq!(distinct.len(), m, "some pair never scheduled within 64·m draws");
+    }
+
+    /// Round-robin is fair by construction: every window of m consecutive
+    /// steps from the start covers every pair exactly once. (No seed input:
+    /// the scheduler is deterministic and ignores its RNG.)
+    #[test]
+    fn round_robin_rounds_cover_all_pairs(n in 2usize..12) {
+        let m = n * (n - 1) / 2;
+        let pairs = collect_valid_pairs(RoundRobin::new(), n, 3 * m, 0)?;
+        for round in pairs.chunks(m) {
+            let distinct: std::collections::HashSet<_> = round.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), m, "a round-robin round repeated a pair");
+        }
+    }
+
+    /// Shuffled-rounds is fair per round: each round of m steps is a
+    /// permutation of the full pair set, for any RNG seed.
+    #[test]
+    fn shuffled_rounds_cover_all_pairs(n in 2usize..10, seed in any::<u64>()) {
+        let m = n * (n - 1) / 2;
+        let pairs = collect_valid_pairs(ShuffledRounds::new(), n, 4 * m, seed)?;
+        for round in pairs.chunks(m) {
+            let distinct: std::collections::HashSet<_> = round.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), m, "a shuffled round repeated a pair");
+        }
+    }
+
+    /// Fair schedulers really drive progress: starting from one infected
+    /// node, the one-way epidemic (a, b) → (a, a) must reach everybody
+    /// under round-robin within n rounds — a scheduler that starves any
+    /// pair would leave susceptible nodes behind.
+    #[test]
+    fn fair_schedulers_drive_one_way_epidemic_to_quiescence(n in 2usize..10, source in any::<u64>()) {
+        let mut b = ProtocolBuilder::new("epidemic");
+        let a = b.state("a");
+        let q = b.state("b");
+        b.initial(q);
+        b.rule((a, q, Link::Off), (a, a, Link::Off));
+        let p = b.build().expect("well-formed");
+        // All susceptible except one random source.
+        let mut pop = netcon_core::Population::new(n, q);
+        pop.set_state((source % n as u64) as usize, a);
+        let mut sim =
+            Simulation::from_population_with_scheduler(p, pop, 0, RoundRobin::new());
+        prop_assert!(!sim.is_quiescent(), "source node must have work to do");
+        // Each round-robin round infects at least one node; n rounds suffice.
+        let m = (n * (n - 1) / 2) as u64;
+        sim.run_for(m * n as u64);
+        prop_assert!(sim.is_quiescent(), "epidemic not done after n rounds");
+        prop_assert_eq!(
+            sim.population().count_where(|s| *s == a), n,
+            "a fair scheduler must infect every node"
+        );
+    }
+}

@@ -365,7 +365,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "self-loops")]
     fn self_loop_panics() {
-        EdgeSet::new(3).pair_index(1, 1);
+        let _ = EdgeSet::new(3).pair_index(1, 1);
     }
 
     #[test]

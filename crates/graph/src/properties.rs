@@ -116,7 +116,7 @@ pub fn is_krc_relaxed(es: &EdgeSet, k: u32) -> bool {
     l <= (k as usize).saturating_sub(1)
         && low
             .iter()
-            .all(|&d| d + 1 >= l as u32 && d <= k - 1)
+            .all(|&d| d + 1 >= l as u32 && d < k)
 }
 
 /// Whether the active graph partitions the population into `⌊n/c⌋` cliques

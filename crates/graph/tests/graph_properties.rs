@@ -133,3 +133,76 @@ proptest! {
         prop_assert_eq!(gnp(n, 1.0, &mut rng).active_count(), n * (n - 1) / 2);
     }
 }
+
+// --- EdgeSet activation/deactivation round-trips ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Activating an inactive edge and deactivating it again is a perfect
+    /// round-trip: equality, degrees, and the active count all restore.
+    #[test]
+    fn activate_deactivate_roundtrip(es in arb_graph(10), pick in any::<u64>()) {
+        let n = es.n();
+        let (u, v) = es.pair_at((pick % es.pair_count() as u64) as usize);
+        let before = es.clone();
+        let degrees: Vec<u32> = (0..n).map(|w| es.degree(w)).collect();
+
+        let mut work = es.clone();
+        if work.is_active(u, v) {
+            work.deactivate(u, v);
+            prop_assert_eq!(work.degree(u), degrees[u] - 1);
+            prop_assert_eq!(work.degree(v), degrees[v] - 1);
+            prop_assert_eq!(work.active_count(), before.active_count() - 1);
+            work.activate(u, v);
+        } else {
+            work.activate(u, v);
+            prop_assert_eq!(work.degree(u), degrees[u] + 1);
+            prop_assert_eq!(work.degree(v), degrees[v] + 1);
+            prop_assert_eq!(work.active_count(), before.active_count() + 1);
+            work.deactivate(u, v);
+        }
+        prop_assert_eq!(&work, &before);
+        for w in 0..n {
+            prop_assert_eq!(work.degree(w), degrees[w], "degree of {} drifted", w);
+        }
+    }
+
+    /// Toggling every edge twice via `set` restores the graph, and the
+    /// maintained degrees always match a from-scratch recount.
+    #[test]
+    fn double_toggle_is_identity_and_degrees_recount(es in arb_graph(9)) {
+        let n = es.n();
+        let before = es.clone();
+        let mut work = es;
+        for _ in 0..2 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let now = work.is_active(u, v);
+                    work.set(u, v, !now);
+                }
+            }
+        }
+        prop_assert_eq!(&work, &before);
+        let recount: Vec<u32> = (0..n)
+            .map(|u| (0..n).filter(|&v| v != u && work.is_active(u, v)).count() as u32)
+            .collect();
+        let maintained: Vec<u32> = (0..n).map(|u| work.degree(u)).collect();
+        prop_assert_eq!(maintained, recount);
+        prop_assert_eq!(work.degree_sequence().iter().sum::<u32>() as usize, 2 * work.active_count());
+    }
+
+    /// `clear` zeroes everything `from_edges` built, and rebuilding from
+    /// the active-edge list is lossless.
+    #[test]
+    fn clear_and_rebuild_roundtrip(es in arb_graph(10)) {
+        let rebuilt = EdgeSet::from_edges(es.n(), es.active_edges());
+        prop_assert_eq!(&rebuilt, &es);
+        let mut wiped = es.clone();
+        wiped.clear();
+        prop_assert_eq!(wiped.active_count(), 0);
+        for u in 0..es.n() {
+            prop_assert_eq!(wiped.degree(u), 0);
+        }
+    }
+}

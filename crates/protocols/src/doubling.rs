@@ -102,7 +102,7 @@ pub fn protocol(d: u16) -> RuleProtocol {
 pub fn initial_population(n: usize, d: u16) -> Population<StateId> {
     let st = States { d };
     assert!(
-        n >= (1usize << d) + 1,
+        n > (1usize << d),
         "need at least 2^d + 1 = {} nodes",
         (1usize << d) + 1
     );

@@ -2,7 +2,7 @@
 //! schedulers, invariants sampled along random executions, and
 //! cross-protocol consistency checks.
 
-use netcon_core::testing::assert_stabilizes_sim;
+use netcon_core::testing::{assert_stabilizes_sim, step_budget};
 use netcon_core::{Machine, Population, RoundRobin, ShuffledRounds, Simulation, StateId};
 use netcon_graph::components::connected_components;
 use netcon_graph::properties::{
@@ -17,29 +17,29 @@ fn constructors_work_under_shuffled_rounds() {
     // fresh random order; protocols whose correctness needs only fairness
     // must still converge.
     let sim = Simulation::with_scheduler(global_star::protocol(), 16, 3, ShuffledRounds::new());
-    let sim = assert_stabilizes_sim(sim, global_star::is_stable, u64::MAX, 10_000);
+    let sim = assert_stabilizes_sim(sim, global_star::is_stable, step_budget(16), 10_000);
     assert!(is_spanning_star(sim.population().edges()));
 
     let sim = Simulation::with_scheduler(cycle_cover::protocol(), 15, 3, ShuffledRounds::new());
-    let sim = assert_stabilizes_sim(sim, cycle_cover::is_stable, u64::MAX, 10_000);
+    let sim = assert_stabilizes_sim(sim, cycle_cover::is_stable, step_budget(15), 10_000);
     assert!(is_cycle_cover_with_waste(sim.population().edges(), 2));
 
     let sim =
         Simulation::with_scheduler(fast_global_line::protocol(), 10, 3, ShuffledRounds::new());
-    let sim = assert_stabilizes_sim(sim, fast_global_line::is_stable, u64::MAX, 10_000);
+    let sim = assert_stabilizes_sim(sim, fast_global_line::is_stable, step_budget(10), 10_000);
     assert!(is_spanning_line(sim.population().edges()));
 }
 
 #[test]
 fn constructors_work_under_round_robin() {
     let sim = Simulation::with_scheduler(spanning_net::protocol(), 14, 0, RoundRobin::new());
-    let sim = assert_stabilizes_sim(sim, spanning_net::is_stable, u64::MAX, 10_000);
+    let sim = assert_stabilizes_sim(sim, spanning_net::is_stable, step_budget(14), 10_000);
     assert!(netcon_graph::properties::is_spanning_net(
         sim.population().edges()
     ));
 
     let sim = Simulation::with_scheduler(krc::protocol(2), 8, 1, RoundRobin::new());
-    let sim = assert_stabilizes_sim(sim, |p| krc::is_stable(p, 2), u64::MAX, 10_000);
+    let sim = assert_stabilizes_sim(sim, |p| krc::is_stable(p, 2), step_budget(8), 10_000);
     assert!(is_spanning_ring(sim.population().edges()));
 }
 

@@ -400,7 +400,7 @@ impl UniversalConstructor {
                     other => other,
                 };
                 p2.token = Some(Self::arrive(job, p));
-                return pack(leader_first, S::Leader(l2), S::U(p2));
+                pack(leader_first, S::Leader(l2), S::U(p2))
             }
             // ---- Leader ↔ its D partner ----
             (S::Leader(l), S::D(d)) | (S::D(d), S::Leader(l)) if link == Link::On => {
@@ -738,7 +738,7 @@ mod tests {
                 assert_eq!(g.n(), m);
                 assert!(is_connected(&g), "accepted graph must be connected");
                 // All matching edges are gone: D nodes only connect to D.
-                let hist = degree_histogram(&pop.edges());
+                let hist = degree_histogram(pop.edges());
                 let _ = hist;
                 for u in pop.nodes_where(|s| matches!(s, UcState::D(_))) {
                     for v in pop.edges().neighbors(u) {

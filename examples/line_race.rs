@@ -28,8 +28,10 @@ fn mean_steps(
     Summary::of(&samples)
 }
 
+type Entry = (&'static str, RuleProtocol, fn(&Population<StateId>) -> bool);
+
 fn main() {
-    let entries: [(&str, RuleProtocol, fn(&Population<StateId>) -> bool); 3] = [
+    let entries: [Entry; 3] = [
         (
             "Simple (5 states)",
             simple_global_line::protocol(),

@@ -14,8 +14,7 @@ fn main() {
     let seed = 7;
     let protocol = global_star::protocol();
     println!(
-        "protocol: {} ({} states, {} rules)",
-        "Global-Star",
+        "protocol: Global-Star ({} states, {} rules)",
         protocol.size(),
         protocol.rules().len()
     );

@@ -1,0 +1,38 @@
+//! Guarantees the `examples/` directory stays in sync with the library
+//! API: `cargo build --examples` must succeed for all seven examples.
+//!
+//! CI also runs `cargo build --examples` directly; this test gives the
+//! same guarantee to anyone running plain `cargo test` locally. It
+//! re-enters cargo, so it is skipped when the `CARGO` environment
+//! variable is absent (e.g. under a non-cargo test runner) and can be
+//! disabled explicitly with `NETCON_SKIP_EXAMPLES_SMOKE=1`.
+
+use std::process::Command;
+
+#[test]
+fn all_examples_compile() {
+    if std::env::var_os("NETCON_SKIP_EXAMPLES_SMOKE").is_some() {
+        eprintln!("skipping: NETCON_SKIP_EXAMPLES_SMOKE set");
+        return;
+    }
+    let Some(cargo) = std::env::var_os("CARGO") else {
+        eprintln!("skipping: CARGO not set");
+        return;
+    };
+    // Runtime lookup: the compile-time value would go stale if the built
+    // test binary runs from a relocated checkout.
+    let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") else {
+        eprintln!("skipping: CARGO_MANIFEST_DIR not set");
+        return;
+    };
+    let manifest = format!("{manifest_dir}/Cargo.toml");
+    let output = Command::new(cargo)
+        .args(["build", "--examples", "--manifest-path", &manifest])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -1,7 +1,7 @@
 //! Integration: every protocol in the catalogue, driven purely through
 //! the public facade, stabilizes to its target shape and stays there.
 
-use netcon::core::testing::assert_stabilizes;
+use netcon::core::testing::{assert_stabilizes, step_budget};
 use netcon::core::{Population, Simulation, StateId};
 use netcon::graph::properties::{
     is_clique_partition, is_cycle_cover_with_waste, is_krc_relaxed, is_spanning_line,
@@ -27,7 +27,7 @@ fn lines_rings_stars_covers() {
         n,
         seed,
         simple_global_line::is_stable,
-        u64::MAX,
+        step_budget(n),
         20_000,
     );
     assert!(is_spanning_line(sim.population().edges()));
@@ -37,7 +37,7 @@ fn lines_rings_stars_covers() {
         n,
         seed,
         fast_global_line::is_stable,
-        u64::MAX,
+        step_budget(n),
         20_000,
     );
     assert!(is_spanning_line(sim.population().edges()));
@@ -47,7 +47,7 @@ fn lines_rings_stars_covers() {
         n,
         seed,
         global_star::is_stable,
-        u64::MAX,
+        step_budget(n),
         20_000,
     );
     assert!(is_spanning_star(sim.population().edges()));
@@ -57,7 +57,7 @@ fn lines_rings_stars_covers() {
         n,
         seed,
         global_ring::is_stable,
-        u64::MAX,
+        step_budget(n),
         20_000,
     );
     assert!(is_spanning_ring(sim.population().edges()));
@@ -67,7 +67,7 @@ fn lines_rings_stars_covers() {
         n,
         seed,
         cycle_cover::is_stable,
-        u64::MAX,
+        step_budget(n),
         20_000,
     );
     assert!(is_cycle_cover_with_waste(sim.population().edges(), 2));
@@ -77,7 +77,7 @@ fn lines_rings_stars_covers() {
         n,
         seed,
         spanning_net::is_stable,
-        u64::MAX,
+        step_budget(n),
         20_000,
     );
     assert!(is_spanning_net(sim.population().edges()));
@@ -90,7 +90,7 @@ fn regular_networks_and_cliques() {
         9,
         5,
         |p: &Population<StateId>| krc::is_stable(p, 2),
-        u64::MAX,
+        step_budget(9),
         20_000,
     );
     assert!(is_spanning_ring(sim.population().edges()));
@@ -100,7 +100,7 @@ fn regular_networks_and_cliques() {
         10,
         5,
         |p: &Population<StateId>| krc::is_stable(p, 3),
-        u64::MAX,
+        step_budget(10),
         20_000,
     );
     assert!(is_krc_relaxed(sim.population().edges(), 3));
@@ -110,7 +110,7 @@ fn regular_networks_and_cliques() {
         9,
         5,
         |p: &Population<StateId>| c_cliques::is_stable(p, 3),
-        u64::MAX,
+        step_budget(9),
         20_000,
     );
     assert!(is_clique_partition(sim.population().edges(), 3));
@@ -120,7 +120,7 @@ fn regular_networks_and_cliques() {
 fn convergence_is_reproducible_per_seed() {
     let run = |seed: u64| {
         let mut sim = Simulation::new(global_star::protocol(), 20, seed);
-        sim.run_until(global_star::is_stable, u64::MAX)
+        sim.run_until(global_star::is_stable, step_budget(20))
             .converged_at()
             .expect("stabilizes")
     };

@@ -2,6 +2,7 @@
 //! connected inputs, the stable replica is isomorphic to the input and
 //! the input itself is never disturbed.
 
+use netcon::core::testing::step_budget;
 use netcon::core::Simulation;
 use netcon::graph::components::is_connected;
 use netcon::graph::iso::are_isomorphic;
@@ -41,7 +42,7 @@ proptest! {
         prop_assert!(is_connected(&g1));
         let pop = replication::initial_population(&g1, g1.n() + spare);
         let mut sim = Simulation::from_population(replication::protocol(), pop, seed);
-        let outcome = sim.run_until(replication::is_stable, u64::MAX);
+        let outcome = sim.run_until(replication::is_stable, step_budget(g1.n() + spare));
         prop_assert!(outcome.stabilized());
         let replica = replication::replica(sim.population());
         prop_assert!(are_isomorphic(&replica, &g1), "replica {replica:?} vs input {g1:?}");

@@ -2,7 +2,7 @@
 //! population, build the line, then run the universal constructor — plus
 //! the TM-on-line layer against the reference interpreter.
 
-use netcon::core::testing::assert_stabilizes;
+use netcon::core::testing::{assert_stabilizes, step_budget};
 use netcon::core::Simulation;
 use netcon::graph::components::is_connected;
 use netcon::graph::properties::is_spanning_line;
@@ -25,7 +25,7 @@ fn theorem_14_pipeline() {
     let m = n / 2;
 
     // Phase 1: U–D partition.
-    let sim = assert_stabilizes(ud_protocol(), n, 3, ud_is_stable, u64::MAX, 10_000);
+    let sim = assert_stabilizes(ud_protocol(), n, 3, ud_is_stable, step_budget(n), 10_000);
     let census = ud_census(sim.population());
     assert_eq!(census.u, m);
     assert_eq!(census.d, m);
@@ -37,7 +37,7 @@ fn theorem_14_pipeline() {
         m,
         3,
         netcon::protocols::simple_global_line::is_stable,
-        u64::MAX,
+        step_budget(m),
         10_000,
     );
     assert!(is_spanning_line(sim.population().edges()));
@@ -49,7 +49,7 @@ fn theorem_14_pipeline() {
         pop,
         3,
     );
-    let outcome = sim.run_until(netcon::universal::constructor::is_stable, u64::MAX);
+    let outcome = sim.run_until(netcon::universal::constructor::is_stable, step_budget(m));
     assert!(outcome.stabilized());
     let g = drawn_graph(sim.population());
     assert!(Connected.accepts(&netcon::graph::matrix::AdjMatrix::from(&g)));
@@ -76,7 +76,7 @@ fn line_tm_agrees_with_interpreter() {
                     .is_some_and(|h| matches!(h.mode, Mode::Accepted | Mode::Rejected))
             })
         };
-        assert!(sim.run_until(halted, u64::MAX).stabilized());
+        assert!(sim.run_until(halted, step_budget(space)).stabilized());
         let (_, head) = head_of(sim.population());
         let agrees = matches!(
             (want, head.mode),
@@ -98,7 +98,7 @@ fn constructor_output_is_in_language() {
             seed,
         );
         assert!(sim
-            .run_until(netcon::universal::constructor::is_stable, u64::MAX)
+            .run_until(netcon::universal::constructor::is_stable, step_budget(4))
             .stabilized());
         let g = drawn_graph(sim.population());
         assert!(Connected.accepts(&netcon::graph::matrix::AdjMatrix::from(&g)));

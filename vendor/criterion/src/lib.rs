@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! crates.io is unreachable in this build environment, so the bench
+//! harness vendors the subset of the criterion API the workspace uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple adaptive wall-clock loop (warm up, then run
+//! until ~`measurement_millis` of samples accumulate) reporting the mean
+//! iteration time. There is no statistical analysis, plotting, or HTML
+//! report — just numbers on stdout, which is what the figure/table bench
+//! targets in this workspace need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    measurement_millis: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            // Keep default runs quick; NETCON_BENCH_MILLIS raises it for
+            // paper-grade timings.
+            measurement_millis: std::env::var("NETCON_BENCH_MILLIS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments. Recognizes the first free-standing
+    /// positional argument as a substring filter; flags (and the value
+    /// immediately following a `--flag`, which real criterion flags often
+    /// take) are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = Self::filter_from(std::env::args().skip(1));
+        self
+    }
+
+    /// Extracts the filter from an argument list (see
+    /// [`Criterion::configure_from_args`]). `--bench`/`--test` are the
+    /// boolean flags cargo itself appends; every other `--flag` is assumed
+    /// to take the following argument as its value.
+    fn filter_from(args: impl Iterator<Item = String>) -> Option<String> {
+        let mut filter = None;
+        let mut prev_was_flag = false;
+        for arg in args {
+            if arg.starts_with('-') {
+                prev_was_flag = arg.starts_with("--")
+                    && !arg.contains('=')
+                    && arg != "--bench"
+                    && arg != "--test";
+                continue;
+            }
+            if !prev_was_flag && filter.is_none() {
+                filter = Some(arg);
+            }
+            prev_was_flag = false;
+        }
+        filter
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let saved_millis = self.measurement_millis;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            saved_millis,
+        }
+    }
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            budget: Duration::from_millis(self.measurement_millis),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            let mean = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+            println!("bench {id:<40} {:>12} ns/iter ({} iters)", format_ns(mean), bencher.iters);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3e}", ns)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix. Budget changes
+/// made through the group ([`BenchmarkGroup::measurement_time`]) are
+/// scoped to it and restored when the group ends.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    saved_millis: u64,
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.measurement_millis = self.saved_millis;
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(&full, f);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is adaptive here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_millis = d.as_millis() as u64;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// times the routine.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly: a short warm-up, then batches until the
+    /// measurement budget is spent.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            filter: None,
+            measurement_millis: 1,
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn arg_parsing_finds_the_positional_filter() {
+        let parse = |args: &[&str]| Criterion::filter_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--bench", "star"]), Some("star".into()));
+        assert_eq!(parse(&["star"]), Some("star".into()));
+        // A value-taking flag's value is not a filter.
+        assert_eq!(parse(&["--save-baseline", "main"]), None);
+        assert_eq!(parse(&["--measurement-time=5", "star"]), Some("star".into()));
+        assert_eq!(parse(&["--bench"]), None);
+    }
+
+    #[test]
+    fn group_budget_is_scoped() {
+        let mut c = Criterion {
+            filter: None,
+            measurement_millis: 7,
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.measurement_time(Duration::from_millis(1));
+            g.bench_function("x", |b| b.iter(|| ()));
+            g.finish();
+        }
+        assert_eq!(c.measurement_millis, 7, "group budget must not leak");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            measurement_millis: 1,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,585 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors the subset of proptest it uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range/tuple/`Vec` strategies, [`any`],
+//! [`collection::vec`], [`Just`], [`ProptestConfig`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`]
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its case index and the
+//!   run's base seed, which reproduce it exactly (generation is a pure
+//!   function of `(base seed, test name, case index)`);
+//! * case count comes from [`ProptestConfig::with_cases`] and can be
+//!   globally capped with the `PROPTEST_CASES` environment variable;
+//! * the base seed defaults to a fixed constant (deterministic CI) and
+//!   can be varied with `PROPTEST_SEED`; `PROPTEST_REPLAY=<index>`
+//!   re-runs exactly one case (the failure message prints both).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub use rand::RngExt;
+
+/// The RNG handed to strategies. Wraps the vendored [`SmallRng`].
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Derives the RNG for one test case from the run's base seed, the
+    /// test name, and the case index, so every case is independently
+    /// reproducible.
+    pub fn for_case(base: u64, name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            base ^ h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried, not failed.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration. Only the knobs this workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Give up (pass) after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Drives one property test: generates cases, skips rejections, panics on
+/// the first failure with enough information to replay it.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = env_u64("PROPTEST_SEED").unwrap_or(0x5eed_cafe_f00d);
+    let cases = match env_u64("PROPTEST_CASES") {
+        Some(n) => u32::try_from(n).unwrap_or(u32::MAX),
+        None => config.cases,
+    };
+    // Generation is a pure function of (base, name, index), so a single
+    // failing case can be replayed directly without re-running the run's
+    // prefix — regardless of what case count found it.
+    if let Some(index) = env_u64("PROPTEST_REPLAY") {
+        let mut rng = TestRng::for_case(base, name, index);
+        match case(&mut rng) {
+            Ok(()) => println!("proptest {name}: case index {index} passed on replay"),
+            Err(TestCaseError::Reject) => {
+                println!("proptest {name}: case index {index} rejected on replay");
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name} failed at replayed case index {index}: {msg}")
+            }
+        }
+        return;
+    }
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while accepted < cases {
+        let mut rng = TestRng::for_case(base, name, index);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    // Matches real proptest: an over-constrained
+                    // prop_assume! is a failure, not a green no-op.
+                    panic!(
+                        "proptest {name}: too many global rejects \
+                         ({rejected} rejects, {accepted}/{cases} cases ran) — \
+                         the prop_assume! conditions are too restrictive"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest {name} failed at case index {index} (replay exactly \
+                 this case with PROPTEST_SEED={base} PROPTEST_REPLAY={index}): {msg}"
+            ),
+        }
+        index += 1;
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no shrinking, so a strategy is just a
+/// pure function from an RNG to a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and samples it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn StrategyObject<T>>);
+
+trait StrategyObject<T> {
+    fn generate_obj(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> StrategyObject<S::Value> for S {
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// A `Vec` of strategies generates element-wise (real proptest does the
+/// same); used for "one sub-strategy per slot" constructions.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{RngExt, Strategy, TestRng};
+
+    /// Anything usable as the size argument of [`vec`].
+    pub trait IntoSizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub struct VecStrategy<S, I> {
+        element: S,
+        size: I,
+    }
+
+    impl<S: Strategy, I: IntoSizeRange> Strategy for VecStrategy<S, I> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — element strategy plus size.
+    pub fn vec<S: Strategy, I: IntoSizeRange>(element: S, size: I) -> VecStrategy<S, I> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Defines property tests:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     fn it_holds(x in 0usize..10, flag in any::<bool>()) {
+///         prop_assert!(x < 10);
+///         let _ = flag;
+///     }
+/// }
+///
+/// it_holds();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ config = (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), __l, __r,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), __l,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The customary glob import: strategies, config, and the macros.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let s = (0usize..100, any::<u64>()).prop_map(|(a, b)| (a, b));
+        let mut r1 = crate::TestRng::for_case(1, "t", 0);
+        let mut r2 = crate::TestRng::for_case(1, "t", 0);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in 0u16..=4, flag in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y <= 4, "y out of range: {}", y);
+            let _ = flag;
+        }
+
+        #[test]
+        fn flat_map_threads_values(pair in (2usize..6).prop_flat_map(|n| (Just(n), 0..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(v in crate::collection::vec(any::<bool>(), 7usize)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..4, b in 0usize..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+}
