@@ -1,5 +1,7 @@
 //! Parallel trial sweeps over a ladder of population sizes.
 
+use netcon_core::{EventSim, Machine, Population, RuleProtocol, StateId};
+
 use crate::stats::Summary;
 
 /// Configuration of a sweep.
@@ -43,15 +45,15 @@ impl SweepTable {
     }
 }
 
-/// SplitMix64-style seed derivation (kept local so this crate stays
-/// independent of the model crates).
+/// The canonical two-coordinate seed derivation from
+/// [`netcon_core::seeds::derive2`], addressed by `(size, trial)`.
+///
+/// Until PR 2 this crate carried its own SplitMix64 variant; sweeps now
+/// share the one derivation exported by the model crate. The documented
+/// base-seed convention is therefore bumped: a sweep's per-trial seeds
+/// changed once, and are stable again from here on.
 fn derive_seed(base: u64, n: usize, trial: usize) -> u64 {
-    let mut x = base
-        ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (trial as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+    netcon_core::seeds::derive2(base, n as u64, trial as u64)
 }
 
 /// Runs `workload(n, seed)` for every configured size and trial, spreading
@@ -83,6 +85,40 @@ where
         rows.push(SizeResult { n, samples, summary });
     }
     SweepTable { rows }
+}
+
+/// Sweeps a flat protocol's convergence time (`converged_at`, the paper's
+/// sequential running time) on the **event-driven engine**: the protocol
+/// is compiled once, and each trial runs on an
+/// [`EventSim`](netcon_core::EventSim) whose step counts are identical in
+/// distribution to the naive loop at a fraction of the cost.
+///
+/// `stable` must certify output stability (as the per-protocol predicates
+/// in `netcon-protocols` do). Trials that exhaust `max_steps` panic —
+/// sweeps are measurements, and a censored sample would silently bias the
+/// fit.
+///
+/// # Panics
+///
+/// Panics if any trial fails to stabilize within `max_steps`.
+pub fn sweep_converged_at<P>(
+    cfg: &SweepConfig,
+    protocol: &RuleProtocol,
+    stable: P,
+    max_steps: u64,
+) -> SweepTable
+where
+    P: Fn(&Population<StateId>) -> bool + Sync,
+{
+    let compiled = protocol.compile();
+    let name = protocol.name().to_owned();
+    sweep(cfg, |n, seed| {
+        let mut sim = EventSim::new(compiled.clone(), n, seed);
+        sim.run_until(|p| stable(p), max_steps)
+            .converged_at()
+            .unwrap_or_else(|| panic!("{name} did not stabilize on n={n} within {max_steps}"))
+            as f64
+    })
 }
 
 /// Runs `f` over `jobs` in parallel, preserving the order of results.
@@ -154,6 +190,32 @@ mod tests {
         distinct.sort_by(f64::total_cmp);
         distinct.dedup();
         assert_eq!(distinct.len(), 6, "per-trial seeds differ");
+    }
+
+    #[test]
+    fn event_sweep_measures_convergence() {
+        use netcon_core::{Link, ProtocolBuilder};
+        // Maximum matching: Θ(n²) convergence, stable when no (a, a, 0)
+        // pair remains — i.e. at most one node still in state a.
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, Link::Off), (m, m, Link::On));
+        let p = b.build().expect("valid");
+        let cfg = SweepConfig {
+            sizes: vec![8, 16, 32],
+            trials: 4,
+            base_seed: 5,
+        };
+        let t = sweep_converged_at(&cfg, &p, |pop| pop.count_where(|s| *s == a) <= 1, u64::MAX);
+        assert_eq!(t.rows.len(), 3);
+        for r in &t.rows {
+            assert!(r.summary.mean > 0.0, "n={} measured no steps", r.n);
+            assert_eq!(r.samples.len(), 4);
+        }
+        // Reproducible: same config, same table.
+        let t2 = sweep_converged_at(&cfg, &p, |pop| pop.count_where(|s| *s == a) <= 1, u64::MAX);
+        assert_eq!(t.rows[1].samples, t2.rows[1].samples);
     }
 
     #[test]

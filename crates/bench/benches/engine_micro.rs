@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of the simulation engine's hot path:
-//! interaction throughput for a flat rule table and for a composite-state
-//! machine, plus predicate-check cost.
+//! Criterion micro-benchmarks of the simulation engines' hot paths:
+//! naive interaction throughput (interpreted vs compiled rule tables),
+//! event-driven candidate throughput, predicate-check cost, and a full
+//! run on each engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use netcon_core::Simulation;
+use netcon_core::{EventSim, Simulation};
 use netcon_graph::properties::is_spanning_star;
 use netcon_protocols::{global_star, simple_global_line};
 use std::hint::black_box;
@@ -16,9 +17,28 @@ fn engine_throughput(c: &mut Criterion) {
         b.iter(|| black_box(sim.step()));
     });
 
+    group.bench_function("step_compiled_star_n256", |b| {
+        let mut sim = Simulation::new(global_star::protocol().compile(), 256, 1);
+        b.iter(|| black_box(sim.step()));
+    });
+
     group.bench_function("step_flat_line_n256", |b| {
         let mut sim = Simulation::new(simple_global_line::protocol(), 256, 1);
         b.iter(|| black_box(sim.step()));
+    });
+
+    group.bench_function("event_advance_line_n256", |b| {
+        // Candidate interactions (each one covers a whole geometric run
+        // of skipped draws); recreate the sim when it converges.
+        let mut sim = EventSim::new(simple_global_line::protocol().compile(), 256, 1);
+        let mut reseed = 2u64;
+        b.iter(|| {
+            if sim.is_quiescent() {
+                sim = EventSim::new(simple_global_line::protocol().compile(), 256, reseed);
+                reseed += 1;
+            }
+            black_box(sim.advance(u64::MAX))
+        });
     });
 
     group.bench_function("star_predicate_n256", |b| {
@@ -30,6 +50,13 @@ fn engine_throughput(c: &mut Criterion) {
     group.bench_function("full_star_run_n64", |b| {
         b.iter(|| {
             let mut sim = Simulation::new(global_star::protocol(), 64, 7);
+            black_box(sim.run_until(global_star::is_stable, u64::MAX))
+        });
+    });
+
+    group.bench_function("full_star_run_event_n64", |b| {
+        b.iter(|| {
+            let mut sim = EventSim::new(global_star::protocol().compile(), 64, 7);
             black_box(sim.run_until(global_star::is_stable, u64::MAX))
         });
     });

@@ -4,10 +4,10 @@
 //! asymptotics open. Head-to-head sweep with exponent fits (and
 //! Simple-Global-Line for context).
 
-use netcon_analysis::sweep::{sweep, SweepConfig};
+use netcon_analysis::sweep::{sweep, sweep_converged_at, SweepConfig};
 use netcon_analysis::table::TextTable;
 use netcon_bench::harness::{fits, fmt_fit, scale};
-use netcon_core::{Population, RuleProtocol, Simulation, StateId};
+use netcon_core::{EventSim, Population, RuleProtocol, StateId};
 use netcon_protocols::{fast_global_line, faster_global_line, simple_global_line};
 
 fn sweep_protocol(
@@ -21,18 +21,15 @@ fn sweep_protocol(
         trials,
         base_seed: 6,
     };
-    sweep(&cfg, move |n, seed| {
-        let mut sim = Simulation::new(protocol.clone(), n, seed);
-        sim.run_until(stable, u64::MAX)
-            .converged_at()
-            .expect("line protocols stabilize") as f64
-    })
+    // Event-driven path: the open-question comparison needs large-n
+    // points, which the naive loop cannot reach in bounded time.
+    sweep_converged_at(&cfg, &protocol, stable, u64::MAX)
 }
 
 fn main() {
     println!("=== §7 open question: Fast vs Faster global line ===\n");
     let trials = scale(12);
-    let sizes = vec![12usize, 16, 24, 32, 48, 64];
+    let sizes = vec![12usize, 16, 24, 32, 48, 64, 96, 128];
 
     let fast = sweep_protocol(
         fast_global_line::protocol(),
@@ -70,10 +67,14 @@ fn main() {
         trials,
         base_seed: 6,
     };
+    let leader_compiled = {
+        use netcon_protocols::leader_line;
+        leader_line::protocol().compile()
+    };
     let leader = sweep(&leader_cfg, |n, seed| {
         use netcon_protocols::leader_line;
-        let mut sim = Simulation::from_population(
-            leader_line::protocol(),
+        let mut sim = EventSim::from_population(
+            leader_compiled.clone(),
             leader_line::initial_population(n),
             seed,
         );

@@ -13,26 +13,14 @@
 //! | Spanning-Net (Thm 1) | 2 | Θ(n log n) |
 //! | Graph-Replication | 12 | Θ(n⁴ log n) |
 
-use netcon_analysis::sweep::{sweep, SweepConfig};
+use netcon_analysis::sweep::{sweep, sweep_converged_at, SweepConfig};
 use netcon_analysis::table::TextTable;
 use netcon_bench::harness::{fits, fmt_fit, scale};
-use netcon_core::{Population, RuleProtocol, Simulation, StateId};
+use netcon_core::{EventSim, Population, RuleProtocol, StateId};
 use netcon_protocols::{
     catalog, cycle_cover, fast_global_line, global_ring, global_star, krc, replication,
     simple_global_line, spanning_net,
 };
-
-fn measure(
-    protocol: &RuleProtocol,
-    stable: impl Fn(&Population<StateId>) -> bool,
-    n: usize,
-    seed: u64,
-) -> f64 {
-    let mut sim = Simulation::new(protocol.clone(), n, seed);
-    sim.run_until(|p| stable(p), u64::MAX)
-        .converged_at()
-        .expect("protocol stabilizes") as f64
-}
 
 fn row(
     table: &mut TextTable,
@@ -48,7 +36,9 @@ fn row(
         trials,
         base_seed: 2,
     };
-    let t = sweep(&cfg, |n, seed| measure(&protocol, &stable, n, seed));
+    // Event-driven path: identical step-count distribution, cost
+    // proportional to effective interactions only.
+    let t = sweep_converged_at(&cfg, &protocol, &stable, u64::MAX);
     let (raw, corrected) = fits(&t);
     let last = t.rows.last().expect("sizes non-empty");
     table.row(&[
@@ -91,7 +81,7 @@ fn main() {
         "Ω(n⁴), O(n⁵)",
         simple_global_line::protocol(),
         simple_global_line::is_stable,
-        vec![8, 12, 16, 24, 32],
+        vec![8, 12, 16, 24, 32, 48],
         trials,
     );
     row(
@@ -160,11 +150,12 @@ fn main() {
         trials,
         base_seed: 3,
     };
+    let compiled = replication::protocol().compile();
     let t = sweep(&cfg, |n, seed| {
         let n1 = n / 2;
         let g1 = netcon_graph::EdgeSet::from_edges(n1, (0..n1).map(|i| (i, (i + 1) % n1)));
         let pop = replication::initial_population(&g1, n - n1);
-        let mut sim = Simulation::from_population(replication::protocol(), pop, seed);
+        let mut sim = EventSim::from_population(compiled.clone(), pop, seed);
         sim.run_until(replication::is_stable, u64::MAX)
             .last_effective()
             .expect("replication stabilizes") as f64

@@ -6,3 +6,4 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod speedup;

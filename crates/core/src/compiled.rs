@@ -1,0 +1,550 @@
+//! Compiled protocols: dense-index machines and flat rule tables.
+//!
+//! The interpreted [`RuleProtocol`](crate::RuleProtocol) is faithful to
+//! the paper's listings but pays for that fidelity per interaction: its δ
+//! slots hold [`RuleRhs`](crate::RuleRhs) enums, and its `interact` runs
+//! through the generic [`Machine`] interface with a `dyn Rng`. This module
+//! provides the lowered form the engines prefer:
+//!
+//! * [`EnumerableMachine`] — a machine whose states are (isomorphic to) a
+//!   dense index range `0..num_states()`. Flat protocols implement it for
+//!   free; composite machines with a bounded state space can opt in and
+//!   inherit every fast path (effect tables, the event-driven engine's
+//!   O(1) effectiveness tests).
+//! * [`CompiledTable`] — any `RuleProtocol` lowered to a flat `Vec`-indexed
+//!   δ: one packed right-hand side per `(a_idx, b_idx, link)` slot, `u16`
+//!   state ids, no hashing, no allocation, and a monomorphic
+//!   [`interact_indexed`](EnumerableMachine::interact_indexed) with no
+//!   `dyn Rng` in the hot path. Behaviour (including the coin-consumption
+//!   order) is bit-for-bit identical to the interpreted protocol under the
+//!   same generator.
+//! * [`EffectTable`] — precomputed `can_affect` / `can_affect_edge` bits
+//!   over all `(a_idx, b_idx, link)` triples, the lookup the incremental
+//!   effective-pair maintenance performs O(n) times per effective
+//!   interaction.
+
+use rand::{Rng, RngExt};
+
+use crate::{Link, Machine, RuleProtocol, RuleRhs, StateId};
+
+/// A [`Machine`] whose state set is enumerable as the dense index range
+/// `0..num_states()`.
+///
+/// # Contract
+///
+/// `state_index` and `state_at` must be mutually inverse bijections, and
+/// `num_states` must not change over the machine's lifetime. The
+/// [`interact_indexed`](Self::interact_indexed) provided method must stay
+/// consistent with [`Machine::interact`] — override it only with an
+/// implementation that consumes randomness identically (the engines rely
+/// on this for reproducibility across representations).
+///
+/// The trait is not object-safe (`interact_indexed` is generic over the
+/// generator precisely so compiled hot loops avoid `dyn Rng`).
+pub trait EnumerableMachine: Machine {
+    /// The number of states `|Q|`.
+    fn num_states(&self) -> usize;
+
+    /// The dense index of `state` in `0..num_states()`.
+    fn state_index(&self, state: &Self::State) -> usize;
+
+    /// The state with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= num_states()`.
+    fn state_at(&self, index: usize) -> Self::State;
+
+    /// The machine's effect table. The default tabulates
+    /// `can_affect`/`can_affect_edge` over the whole dense domain;
+    /// machines that already carry the table (compiled ones) override
+    /// this to hand out their copy.
+    fn effect_table(&self) -> EffectTable
+    where
+        Self: Sized,
+    {
+        EffectTable::of(self)
+    }
+
+    /// [`Machine::interact`] over dense indices with a monomorphic
+    /// generator. The default routes through `interact`; compiled
+    /// machines override it with a direct table walk.
+    fn interact_indexed<R: Rng + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        link: Link,
+        rng: &mut R,
+    ) -> Option<(usize, usize, Link)> {
+        let (sa, sb) = (self.state_at(a), self.state_at(b));
+        let mut r = rng;
+        let (a2, b2, l2) = self.interact(&sa, &sb, link, &mut r)?;
+        Some((self.state_index(&a2), self.state_index(&b2), l2))
+    }
+}
+
+impl EnumerableMachine for RuleProtocol {
+    fn num_states(&self) -> usize {
+        self.size()
+    }
+
+    fn state_index(&self, state: &StateId) -> usize {
+        state.index()
+    }
+
+    fn state_at(&self, index: usize) -> StateId {
+        StateId::new(u16::try_from(index).expect("RuleProtocol has ≤ 65536 states"))
+    }
+}
+
+/// Precomputed `can_affect` / `can_affect_edge` bits over every
+/// `(a_idx, b_idx, link)` triple of an [`EnumerableMachine`].
+///
+/// `2·|Q|²` bits each; built once per engine construction with `O(|Q|²)`
+/// machine queries, then answering in one shift-and-mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectTable {
+    size: usize,
+    affect: Vec<u64>,
+    affect_edge: Vec<u64>,
+    /// For machines with ≤ 32 states: `affect_rows[a] >> (b·2 + link) & 1`
+    /// is `can_affect(a, b, link)` — one register row per left state, so
+    /// the engine's per-node rescan tests membership without memory
+    /// traffic. Empty for larger machines.
+    affect_rows: Vec<u64>,
+}
+
+impl EffectTable {
+    /// Queries `machine` over its whole dense domain.
+    #[must_use]
+    pub fn of<M: EnumerableMachine>(machine: &M) -> Self {
+        let size = machine.num_states();
+        let bits = size * size * 2;
+        let mut t = Self {
+            size,
+            affect: vec![0; bits.div_ceil(64)],
+            affect_edge: vec![0; bits.div_ceil(64)],
+            affect_rows: if size <= 32 { vec![0; size] } else { Vec::new() },
+        };
+        for a in 0..size {
+            let sa = machine.state_at(a);
+            for b in 0..size {
+                let sb = machine.state_at(b);
+                for link in [Link::Off, Link::On] {
+                    let i = slot(size, a, b, link);
+                    if machine.can_affect(&sa, &sb, link) {
+                        t.affect[i / 64] |= 1 << (i % 64);
+                        if size <= 32 {
+                            t.affect_rows[a] |= 1 << (b * 2 + usize::from(link.is_on()));
+                        }
+                    }
+                    if machine.can_affect_edge(&sa, &sb, link) {
+                        t.affect_edge[i / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// The `can_affect` mask over `(b, link)` for left state `a`, when the
+    /// machine has ≤ 32 states (bit `b·2 + link`); `None` otherwise.
+    #[inline]
+    #[must_use]
+    pub fn affect_row(&self, a: usize) -> Option<u64> {
+        self.affect_rows.get(a).copied()
+    }
+
+    /// The number of states `|Q|` the table was built over.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether an interaction on the triple could change anything.
+    #[inline]
+    #[must_use]
+    pub fn can_affect(&self, a: usize, b: usize, link: Link) -> bool {
+        let i = slot(self.size, a, b, link);
+        self.affect[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Whether an interaction on the triple could change the edge state.
+    #[inline]
+    #[must_use]
+    pub fn can_affect_edge(&self, a: usize, b: usize, link: Link) -> bool {
+        let i = slot(self.size, a, b, link);
+        self.affect_edge[i / 64] >> (i % 64) & 1 == 1
+    }
+}
+
+/// The flat slot index of `(a, b, link)`.
+#[inline]
+fn slot(size: usize, a: usize, b: usize, link: Link) -> usize {
+    (a * size + b) * 2 + usize::from(link.is_on())
+}
+
+/// A packed right-hand-side triple: `a | b << 16 | link << 32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Packed(u64);
+
+impl Packed {
+    fn new(a: u16, b: u16, link: Link) -> Self {
+        Self(u64::from(a) | u64::from(b) << 16 | u64::from(link.is_on()) << 32)
+    }
+
+    fn unpack(self) -> (u16, u16, Link) {
+        (
+            (self.0 & 0xFFFF) as u16,
+            (self.0 >> 16 & 0xFFFF) as u16,
+            Link::from(self.0 >> 32 & 1 == 1),
+        )
+    }
+}
+
+/// One δ slot of a [`CompiledTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// No rule: the interaction is ineffective.
+    Empty,
+    /// A deterministic right-hand side.
+    Det(Packed),
+    /// A randomized right-hand side: alternatives `start..start + len` of
+    /// the arena, with the given total weight.
+    Random { start: u32, len: u32, total: u32 },
+}
+
+/// A [`RuleProtocol`] lowered to flat arrays: the fast executable form of
+/// the paper's δ.
+///
+/// Create with [`RuleProtocol::compile`]. The compiled machine implements
+/// [`Machine`] (so it is a drop-in for the interpreted protocol in
+/// [`Simulation`](crate::Simulation)) and [`EnumerableMachine`] with an
+/// overridden, monomorphic [`interact_indexed`] that performs exactly one
+/// slot load per interaction — no hashing, no allocation, no `dyn Rng` —
+/// while consuming randomness in the same order as the interpreted
+/// protocol, so equal seeds give equal executions.
+///
+/// [`interact_indexed`]: EnumerableMachine::interact_indexed
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::{EventSim, Link, ProtocolBuilder};
+///
+/// let mut b = ProtocolBuilder::new("matching");
+/// let a = b.state("a");
+/// let m = b.state("b");
+/// b.rule((a, a, Link::Off), (m, m, Link::On));
+/// let compiled = b.build()?.compile();
+///
+/// let mut sim = EventSim::new(compiled, 100, 1);
+/// let outcome = sim.run_until(|p| p.edges().active_count() == 50, 10_000_000);
+/// assert!(outcome.stabilized());
+/// # Ok::<(), netcon_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledTable {
+    name: String,
+    state_names: Vec<String>,
+    initial: u16,
+    output: Vec<bool>,
+    size: usize,
+    slots: Vec<Slot>,
+    /// Arena of `(weight, packed_rhs)` alternatives for randomized slots,
+    /// in declaration order (the sampling walk matches the interpreted
+    /// protocol's).
+    alts: Vec<(u32, Packed)>,
+    effects: EffectTable,
+}
+
+impl CompiledTable {
+    /// Lowers `protocol`. Exposed as [`RuleProtocol::compile`].
+    #[must_use]
+    pub(crate) fn lower(protocol: &RuleProtocol) -> Self {
+        let size = protocol.size();
+        let mut slots = vec![Slot::Empty; size * size * 2];
+        let mut alts = Vec::new();
+        for a in 0..size {
+            for b in 0..size {
+                for link in [Link::Off, Link::On] {
+                    let Some(rhs) = protocol.lookup(
+                        StateId::new(a as u16),
+                        StateId::new(b as u16),
+                        link,
+                    ) else {
+                        continue;
+                    };
+                    slots[slot(size, a, b, link)] = match rhs {
+                        RuleRhs::Det((x, y, l)) => {
+                            Slot::Det(Packed::new(x.index() as u16, y.index() as u16, *l))
+                        }
+                        RuleRhs::Random(list) => {
+                            let start = u32::try_from(alts.len()).expect("arena fits u32");
+                            let mut total = 0u32;
+                            for &(w, (x, y, l)) in list {
+                                total += w;
+                                alts.push((w, Packed::new(x.index() as u16, y.index() as u16, l)));
+                            }
+                            Slot::Random {
+                                start,
+                                len: u32::try_from(list.len()).expect("arena fits u32"),
+                                total,
+                            }
+                        }
+                    };
+                }
+            }
+        }
+        let state_names = (0..size)
+            .map(|i| protocol.state_name(StateId::new(i as u16)).to_owned())
+            .collect();
+        Self {
+            name: protocol.name().to_owned(),
+            state_names,
+            initial: protocol.initial_state().index() as u16,
+            output: (0..size)
+                .map(|i| protocol.is_output(&StateId::new(i as u16)))
+                .collect(),
+            size,
+            slots,
+            alts,
+            effects: EffectTable::of(protocol),
+        }
+    }
+
+    /// The number of states `|Q|`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Looks up a state id by its paper name.
+    #[must_use]
+    pub fn state(&self, name: &str) -> Option<StateId> {
+        self.state_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| StateId::new(i as u16))
+    }
+
+    /// The paper name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a state of this protocol.
+    #[must_use]
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.state_names[s.index()]
+    }
+
+}
+
+impl Machine for CompiledTable {
+    type State = StateId;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn initial_state(&self) -> StateId {
+        StateId::new(self.initial)
+    }
+
+    fn is_output(&self, state: &StateId) -> bool {
+        self.output[state.index()]
+    }
+
+    fn interact(
+        &self,
+        a: &StateId,
+        b: &StateId,
+        link: Link,
+        rng: &mut dyn Rng,
+    ) -> Option<(StateId, StateId, Link)> {
+        self.interact_indexed(a.index(), b.index(), link, rng)
+            .map(|(x, y, l)| (StateId::new(x as u16), StateId::new(y as u16), l))
+    }
+
+    fn can_affect(&self, a: &StateId, b: &StateId, link: Link) -> bool {
+        self.effects.can_affect(a.index(), b.index(), link)
+    }
+
+    fn can_affect_edge(&self, a: &StateId, b: &StateId, link: Link) -> bool {
+        self.effects.can_affect_edge(a.index(), b.index(), link)
+    }
+}
+
+impl EnumerableMachine for CompiledTable {
+    fn num_states(&self) -> usize {
+        self.size
+    }
+
+    fn effect_table(&self) -> EffectTable {
+        self.effects.clone()
+    }
+
+    fn state_index(&self, state: &StateId) -> usize {
+        state.index()
+    }
+
+    fn state_at(&self, index: usize) -> StateId {
+        StateId::new(u16::try_from(index).expect("CompiledTable has ≤ 65536 states"))
+    }
+
+    fn interact_indexed<R: Rng + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        link: Link,
+        rng: &mut R,
+    ) -> Option<(usize, usize, Link)> {
+        let packed = match self.slots[slot(self.size, a, b, link)] {
+            Slot::Empty => return None,
+            Slot::Det(p) => p,
+            Slot::Random { start, len, total } => {
+                // Same draw and same walk order as `RuleRhs::sample`.
+                let mut roll = rng.random_range(0..total);
+                let mut chosen = None;
+                for &(w, p) in &self.alts[start as usize..(start + len) as usize] {
+                    if roll < w {
+                        chosen = Some(p);
+                        break;
+                    }
+                    roll -= w;
+                }
+                chosen.expect("weights sum to total")
+            }
+        };
+        let (mut a2, mut b2, l2) = packed.unpack();
+        if a == b && a2 != b2 {
+            // §3.1's symmetry-breaking coin, in the same stream position
+            // as the interpreted protocol.
+            if rng.random_bool(0.5) {
+                std::mem::swap(&mut a2, &mut b2);
+            }
+        }
+        let (a2, b2) = (a2 as usize, b2 as usize);
+        if (a2, b2, l2) == (a, b, link) {
+            None
+        } else {
+            Some((a2, b2, l2))
+        }
+    }
+}
+
+impl RuleProtocol {
+    /// Lowers the protocol to its flat, allocation-free executable form.
+    ///
+    /// The compiled machine is observationally identical to the
+    /// interpreted one — same transitions, same coin-consumption order,
+    /// same `can_affect` relation — so it can replace the protocol in any
+    /// engine without changing measured distributions (or, under a fixed
+    /// seed, the execution itself).
+    #[must_use]
+    pub fn compile(&self) -> CompiledTable {
+        CompiledTable::lower(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const OFF: Link = Link::Off;
+    const ON: Link = Link::On;
+
+    fn line_protocol() -> RuleProtocol {
+        let mut b = ProtocolBuilder::new("line");
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let l = b.state("l");
+        b.rule((q0, q0, OFF), (q1, l, ON));
+        b.rule((l, q0, OFF), (q1, l, ON));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_on_full_domain() {
+        let p = line_protocol();
+        let c = p.compile();
+        for a in 0..p.size() as u16 {
+            for b in 0..p.size() as u16 {
+                for link in [OFF, ON] {
+                    let (a, b) = (StateId::new(a), StateId::new(b));
+                    for seed in 0..8 {
+                        let mut r1 = SmallRng::seed_from_u64(seed);
+                        let mut r2 = SmallRng::seed_from_u64(seed);
+                        assert_eq!(
+                            p.interact(&a, &b, link, &mut r1),
+                            c.interact(&a, &b, link, &mut r2),
+                            "disagreement at ({a:?}, {b:?}, {link})"
+                        );
+                        assert_eq!(r1, r2, "coin consumption diverged");
+                    }
+                    assert_eq!(p.can_affect(&a, &b, link), c.can_affect(&a, &b, link));
+                    assert_eq!(
+                        p.can_affect_edge(&a, &b, link),
+                        c.can_affect_edge(&a, &b, link)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_rules_share_the_sampling_walk() {
+        let mut b = ProtocolBuilder::new("prel");
+        let l = b.state("l");
+        let f = b.state("f");
+        b.rule_random((l, f, OFF), [(3, (f, l, OFF)), (1, (l, l, ON))]);
+        let p = b.build().expect("valid");
+        let c = p.compile();
+        let mut r1 = SmallRng::seed_from_u64(9);
+        let mut r2 = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(
+                p.interact(&l, &f, OFF, &mut r1),
+                c.interact(&l, &f, OFF, &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let p = line_protocol();
+        let c = p.compile();
+        assert_eq!(c.size(), p.size());
+        assert_eq!(c.name(), p.name());
+        assert_eq!(c.initial_state(), p.initial_state());
+        assert_eq!(c.state("l"), p.state("l"));
+        assert_eq!(c.state_name(StateId::new(1)), "q1");
+        assert_eq!(c.num_states(), 3);
+        assert_eq!(c.state_at(2), StateId::new(2));
+        assert_eq!(c.state_index(&StateId::new(2)), 2);
+    }
+
+    #[test]
+    fn effect_table_matches_machine_queries() {
+        let p = line_protocol();
+        let t = EffectTable::of(&p);
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                for link in [OFF, ON] {
+                    let (sa, sb) = (StateId::new(a), StateId::new(b));
+                    assert_eq!(
+                        t.can_affect(a as usize, b as usize, link),
+                        p.can_affect(&sa, &sb, link)
+                    );
+                    assert_eq!(
+                        t.can_affect_edge(a as usize, b as usize, link),
+                        p.can_affect_edge(&sa, &sb, link)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Shared engine internals: convergence bookkeeping and the incremental
+//! effective-pair index used by both [`Simulation`](crate::Simulation) and
+//! [`EventSim`](crate::EventSim).
+//!
+//! Both engines agree on what they record per interaction — total steps,
+//! effective interactions, edge events, and the steps of the last output
+//! change / last effective interaction — so the two loops share one
+//! [`Bookkeeping`] value and one way of turning it into a
+//! [`RunOutcome`](crate::RunOutcome). Likewise, the O(n)-per-interaction
+//! maintenance of "which pairs currently have an applicable transition"
+//! is one algorithm ([`EffectIndex`]), reused by `EventSim`'s sampler and
+//! by `Simulation`'s optional quiescence tracker.
+
+use crate::compiled::EffectTable;
+use crate::sim::RunOutcome;
+use crate::{Link, Machine, Population};
+
+/// The output graph of a configuration: active edges restricted to nodes
+/// in output states (`G(C)` in §3.1). Shared by both engines'
+/// `output_graph` methods.
+pub(crate) fn output_graph<M: Machine>(
+    machine: &M,
+    pop: &Population<M::State>,
+) -> netcon_graph::EdgeSet {
+    let mut out = netcon_graph::EdgeSet::new(pop.n());
+    for (u, v) in pop.edges().active_edges() {
+        if machine.is_output(pop.state(u)) && machine.is_output(pop.state(v)) {
+            out.activate(u, v);
+        }
+    }
+    out
+}
+
+/// The per-run counters every engine maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Bookkeeping {
+    /// Scheduler-selected interactions so far (including ineffective ones).
+    pub steps: u64,
+    /// Effective interactions so far.
+    pub effective_steps: u64,
+    /// Edge activations/deactivations so far.
+    pub edge_events: u64,
+    /// Step of the most recent edge change (0 if none yet).
+    pub last_output_change: u64,
+    /// Step of the most recent effective interaction (0 if none yet).
+    pub last_effective: u64,
+}
+
+impl Bookkeeping {
+    /// Records an effective interaction at the current `steps` count.
+    pub fn record_effective(&mut self, edge_changed: bool) {
+        if edge_changed {
+            self.edge_events += 1;
+            self.last_output_change = self.steps;
+        }
+        self.effective_steps += 1;
+        self.last_effective = self.steps;
+    }
+
+    /// The [`RunOutcome`] for a stable predicate observed right now.
+    pub fn stabilized_now(&self) -> RunOutcome {
+        RunOutcome::Stabilized {
+            detected_at: self.steps,
+            converged_at: self.last_output_change,
+            last_effective: self.last_effective,
+        }
+    }
+}
+
+/// A set of unordered node pairs supporting O(1) insert, remove,
+/// membership, and uniform sampling by position.
+///
+/// The members live in a dense vector (swap-remove keeps it compact); the
+/// position map is a full `n × n` matrix — twice the memory of a
+/// triangular map (`4n²` bytes), but the event engine's per-interaction
+/// rescan then reads one *contiguous* row per touched node, which is
+/// what the O(n)-maintenance hot loop is bound on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairSet {
+    n: usize,
+    /// Words per row of the membership bitset.
+    row_words: usize,
+    /// Packed members `(u << 16) | v` with `u < v`.
+    members: Vec<u32>,
+    /// `pos[u * n + v]` (and mirror `[v * n + u]`) → position in
+    /// `members` + 1, or 0 when absent.
+    pos: Vec<u32>,
+    /// Membership bitset, one row per node (bit `v` of row `u` and bit
+    /// `u` of row `v`): lets the engines diff a whole row against a
+    /// desired-membership mask word-wise.
+    rows: Vec<u64>,
+}
+
+impl PairSet {
+    /// Creates an empty set over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 65535` (members are packed into `u16` halves).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n <= usize::from(u16::MAX), "PairSet packs nodes into u16");
+        let row_words = n.div_ceil(64);
+        Self {
+            n,
+            row_words,
+            members: Vec::new(),
+            pos: vec![0; n * n],
+            rows: vec![0; n * row_words],
+        }
+    }
+
+    /// The membership bitset row of node `u` (bit `v` ⇔ `{u, v}` is a
+    /// member).
+    #[must_use]
+    pub fn row_bits(&self, u: usize) -> &[u64] {
+        &self.rows[u * self.row_words..(u + 1) * self.row_words]
+    }
+
+    /// The number of member pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `{u, v}` is a member.
+    #[must_use]
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        self.pos[u * self.n + v] != 0
+    }
+
+    /// Inserts or removes `{u, v}` according to `member` (no-ops when the
+    /// membership already matches).
+    pub fn set(&mut self, u: usize, v: usize, member: bool) {
+        debug_assert!(u != v && u < self.n && v < self.n);
+        let i = u * self.n + v;
+        let p = self.pos[i];
+        if member {
+            if p == 0 {
+                let (a, b) = if u < v { (u, v) } else { (v, u) };
+                self.members.push((a as u32) << 16 | b as u32);
+                let at = u32::try_from(self.members.len()).expect("≤ n²/2 members");
+                self.pos[i] = at;
+                self.pos[v * self.n + u] = at;
+                self.rows[u * self.row_words + v / 64] |= 1u64 << (v % 64);
+                self.rows[v * self.row_words + u / 64] |= 1u64 << (u % 64);
+            }
+        } else if p != 0 {
+            let hole = (p - 1) as usize;
+            let last = *self.members.last().expect("non-empty: p != 0");
+            self.members.swap_remove(hole);
+            self.pos[i] = 0;
+            self.pos[v * self.n + u] = 0;
+            self.rows[u * self.row_words + v / 64] &= !(1u64 << (v % 64));
+            self.rows[v * self.row_words + u / 64] &= !(1u64 << (u % 64));
+            if hole < self.members.len() {
+                let (lu, lv) = ((last >> 16) as usize, (last & 0xFFFF) as usize);
+                self.pos[lu * self.n + lv] = p;
+                self.pos[lv * self.n + lu] = p;
+            }
+        }
+    }
+
+    /// The member at position `i` (for uniform sampling), as `(u, v)` with
+    /// `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> (usize, usize) {
+        let packed = self.members[i];
+        ((packed >> 16) as usize, (packed & 0xFFFF) as usize)
+    }
+
+    /// Iterates the member pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.members
+            .iter()
+            .map(|&p| ((p >> 16) as usize, (p & 0xFFFF) as usize))
+    }
+}
+
+/// Dense-index view of a machine's effectiveness relation plus the current
+/// per-node state indices — the incremental core shared by `EventSim` and
+/// `Simulation::track_effective`.
+///
+/// The `index_of` function pointer is captured where the
+/// `EnumerableMachine` bound is available, so the generic engine loops can
+/// maintain the index without carrying the bound themselves.
+#[derive(Debug, Clone)]
+pub(crate) struct EffectIndex<M: Machine> {
+    table: EffectTable,
+    /// Dense state index of every node.
+    idx: Vec<u16>,
+    /// One node bitset per state (bit `u` of row `s` ⇔ `idx[u] == s`),
+    /// `row_words` words each — the input of the word-parallel rescan.
+    state_nodes: Vec<u64>,
+    /// Scratch row for the desired-membership mask.
+    scratch: Vec<u64>,
+    row_words: usize,
+    index_of: fn(&M, &M::State) -> usize,
+}
+
+impl<M: Machine> EffectIndex<M> {
+    /// Builds the index and the initial possibly-effective pair set with a
+    /// full O(n²) scan of `pop`.
+    pub fn build(
+        machine: &M,
+        pop: &Population<M::State>,
+        table: EffectTable,
+        index_of: fn(&M, &M::State) -> usize,
+    ) -> (Self, PairSet) {
+        let n = pop.n();
+        let idx: Vec<u16> = (0..n)
+            .map(|u| u16::try_from(index_of(machine, pop.state(u))).expect("≤ 65536 states"))
+            .collect();
+        let row_words = n.div_ceil(64);
+        let mut state_nodes = vec![0u64; table.size() * row_words];
+        for (u, &s) in idx.iter().enumerate() {
+            state_nodes[s as usize * row_words + u / 64] |= 1u64 << (u % 64);
+        }
+        let mut pairs = PairSet::new(n);
+        for u in 0..n {
+            for (v, active) in pop.edges().row(u) {
+                if v > u && table.can_affect(idx[u] as usize, idx[v] as usize, Link::from(active))
+                {
+                    pairs.set(u, v, true);
+                }
+            }
+        }
+        (
+            Self {
+                table,
+                idx,
+                state_nodes,
+                scratch: vec![0u64; row_words],
+                row_words,
+                index_of,
+            },
+            pairs,
+        )
+    }
+
+    /// The dense state index of node `u`.
+    pub fn state_index(&self, u: usize) -> usize {
+        self.idx[u] as usize
+    }
+
+    /// The effect table.
+    pub fn table(&self) -> &EffectTable {
+        &self.table
+    }
+
+    /// Updates the index after an effective interaction between `u` and
+    /// `v`: re-derives both state indices and rescans the two incident
+    /// pair rows (O(n), word-parallel for small machines).
+    pub fn on_interaction(
+        &mut self,
+        machine: &M,
+        pop: &Population<M::State>,
+        pairs: &mut PairSet,
+        u: usize,
+        v: usize,
+    ) {
+        self.reindex(machine, pop, u);
+        self.reindex(machine, pop, v);
+        self.rescan(pop, pairs, u);
+        self.rescan(pop, pairs, v);
+    }
+
+    /// Re-derives `idx[u]` and keeps the per-state node bitsets in sync.
+    fn reindex(&mut self, machine: &M, pop: &Population<M::State>, u: usize) {
+        let new = u16::try_from((self.index_of)(machine, pop.state(u))).expect("≤ 65536 states");
+        let old = self.idx[u];
+        if old != new {
+            let (word, bit) = (u / 64, 1u64 << (u % 64));
+            self.state_nodes[old as usize * self.row_words + word] &= !bit;
+            self.state_nodes[new as usize * self.row_words + word] |= bit;
+            self.idx[u] = new;
+        }
+    }
+
+    /// Recomputes the membership of every pair incident to `u`.
+    ///
+    /// This is the engine's hot loop (O(n) per effective interaction),
+    /// and for machines with ≤ 32 states it is *word-parallel*: the
+    /// desired membership row is the OR of the node bitsets of the states
+    /// `u`'s state is effective against (edge-blind), patched for the
+    /// O(degree) active neighbours, then XOR-diffed against the current
+    /// membership row so only genuinely changed pairs touch the set —
+    /// `O(n·|Q|/64 + degree + changes)` rather than `O(n)` element
+    /// operations.
+    fn rescan(&mut self, pop: &Population<M::State>, pairs: &mut PairSet, u: usize) {
+        let iu = self.idx[u] as usize;
+        if let Some(row_mask) = self.table.affect_row(iu) {
+            let wpr = self.row_words;
+            // Desired membership, assuming every incident edge is off.
+            self.scratch.fill(0);
+            for s in 0..self.table.size() {
+                if row_mask >> (s << 1) & 1 == 1 {
+                    let row = &self.state_nodes[s * wpr..(s + 1) * wpr];
+                    for (d, &w) in self.scratch.iter_mut().zip(row) {
+                        *d |= w;
+                    }
+                }
+            }
+            // Patch the active neighbours with the edge-on relation, and
+            // drop the self-pair.
+            for w in pop.edges().neighbors(u) {
+                let on = row_mask >> ((usize::from(self.idx[w]) << 1) | 1) & 1 == 1;
+                if on {
+                    self.scratch[w / 64] |= 1u64 << (w % 64);
+                } else {
+                    self.scratch[w / 64] &= !(1u64 << (w % 64));
+                }
+            }
+            self.scratch[u / 64] &= !(1u64 << (u % 64));
+            // Apply exactly the diff.
+            for k in 0..wpr {
+                let desired = self.scratch[k];
+                let mut changed = desired ^ pairs.row_bits(u)[k];
+                while changed != 0 {
+                    let b = changed.trailing_zeros() as usize;
+                    changed &= changed - 1;
+                    let w = k * 64 + b;
+                    pairs.set(u, w, desired >> b & 1 == 1);
+                }
+            }
+        } else {
+            for (w, active) in pop.edges().row(u) {
+                pairs.set(
+                    u,
+                    w,
+                    self.table
+                        .can_affect(iu, self.idx[w] as usize, Link::from(active)),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_set_insert_remove_sample() {
+        let mut s = PairSet::new(6);
+        assert!(s.is_empty());
+        s.set(4, 1, true);
+        s.set(2, 3, true);
+        s.set(1, 4, true); // duplicate (order-insensitive): no-op
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(1, 4) && s.contains(3, 2));
+        let mut all: Vec<_> = s.iter().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![(1, 4), (2, 3)]);
+        s.set(1, 4, false);
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(4, 1));
+        assert_eq!(s.get(0), (2, 3));
+        s.set(2, 3, false);
+        s.set(2, 3, false); // removing an absent pair is a no-op
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pair_set_swap_remove_keeps_positions_consistent() {
+        let mut s = PairSet::new(8);
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                s.set(u, v, true);
+            }
+        }
+        assert_eq!(s.len(), 28);
+        // Remove half the pairs in an arbitrary order and verify the
+        // remaining memberships survive all the swap-removes.
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                if (u + v) % 2 == 0 {
+                    s.set(u, v, false);
+                }
+            }
+        }
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                assert_eq!(s.contains(u, v), (u + v) % 2 == 1, "pair ({u},{v})");
+            }
+        }
+        let from_iter: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(from_iter.len(), s.len());
+    }
+
+    #[test]
+    fn bookkeeping_records_and_reports() {
+        let mut b = Bookkeeping {
+            steps: 10,
+            ..Bookkeeping::default()
+        };
+        b.record_effective(false);
+        assert_eq!((b.effective_steps, b.last_effective, b.edge_events), (1, 10, 0));
+        b.steps = 17;
+        b.record_effective(true);
+        assert_eq!((b.edge_events, b.last_output_change, b.last_effective), (1, 17, 17));
+        assert_eq!(
+            b.stabilized_now(),
+            RunOutcome::Stabilized {
+                detected_at: 17,
+                converged_at: 17,
+                last_effective: 17
+            }
+        );
+    }
+}

@@ -40,11 +40,14 @@ pub enum RuleRhs {
 }
 
 impl RuleRhs {
-    fn outcomes(&self) -> Vec<Triple> {
-        match self {
-            RuleRhs::Det(t) => vec![*t],
-            RuleRhs::Random(alts) => alts.iter().map(|&(_, t)| t).collect(),
-        }
+    /// Iterates the possible outcome triples (ignoring weights), without
+    /// allocating.
+    pub fn outcomes(&self) -> impl Iterator<Item = Triple> + '_ {
+        let (det, random): (&[Triple], &[(u32, Triple)]) = match self {
+            RuleRhs::Det(t) => (std::slice::from_ref(t), &[]),
+            RuleRhs::Random(alts) => (&[], alts.as_slice()),
+        };
+        det.iter().copied().chain(random.iter().map(|&(_, t)| t))
     }
 
     fn sample(&self, rng: &mut dyn Rng) -> Triple {
@@ -300,12 +303,32 @@ impl ProtocolBuilder {
             }
         }
 
+        // Precompute the effectiveness bits so `can_affect` /
+        // `can_affect_edge` are single indexed loads with no allocation
+        // (they run O(n²) times per quiescence scan and O(n) times per
+        // event-engine interaction).
+        let mut affects = vec![false; size * size * 2];
+        let mut affects_edge = vec![false; size * size * 2];
+        for a in 0..size {
+            for b in 0..size {
+                for link in [Link::Off, Link::On] {
+                    let i = (a * size + b) * 2 + usize::from(link.is_on());
+                    let Some(rhs) = &table[i] else { continue };
+                    let lhs = (StateId::new(a as u16), StateId::new(b as u16), link);
+                    affects[i] = rhs.outcomes().any(|t| t != lhs);
+                    affects_edge[i] = rhs.outcomes().any(|(_, _, l2)| l2 != link);
+                }
+            }
+        }
+
         Ok(RuleProtocol {
             name: self.name.clone(),
             state_names: self.state_names.clone(),
             initial: self.initial.unwrap_or(StateId::new(0)),
             output,
             table,
+            affects,
+            affects_edge,
             rules: self.rules.clone(),
         })
     }
@@ -324,6 +347,10 @@ pub struct RuleProtocol {
     initial: StateId,
     output: Vec<bool>,
     table: Vec<Option<RuleRhs>>,
+    /// Per-slot: whether some outcome differs from the left-hand side.
+    affects: Vec<bool>,
+    /// Per-slot: whether some outcome changes the edge state.
+    affects_edge: Vec<bool>,
     rules: Vec<Rule>,
 }
 
@@ -410,16 +437,11 @@ impl Machine for RuleProtocol {
     }
 
     fn can_affect(&self, a: &StateId, b: &StateId, link: Link) -> bool {
-        self.lookup(*a, *b, link).is_some_and(|rhs| {
-            rhs.outcomes()
-                .iter()
-                .any(|&(a2, b2, l2)| (a2, b2, l2) != (*a, *b, link))
-        })
+        self.affects[(a.index() * self.size() + b.index()) * 2 + usize::from(link.is_on())]
     }
 
     fn can_affect_edge(&self, a: &StateId, b: &StateId, link: Link) -> bool {
-        self.lookup(*a, *b, link)
-            .is_some_and(|rhs| rhs.outcomes().iter().any(|&(_, _, l2)| l2 != link))
+        self.affects_edge[(a.index() * self.size() + b.index()) * 2 + usize::from(link.is_on())]
     }
 }
 

@@ -12,6 +12,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::compiled::EnumerableMachine;
+use crate::engine::{Bookkeeping, EffectIndex, PairSet};
 use crate::{Link, Machine, Population, Scheduler, Uniform};
 
 /// The result of a single simulation step.
@@ -115,11 +117,16 @@ pub struct Simulation<M: Machine, S: Scheduler = Uniform> {
     scheduler: S,
     pop: Population<M::State>,
     rng: SmallRng,
-    steps: u64,
-    effective_steps: u64,
-    edge_events: u64,
-    last_output_change: u64,
-    last_effective: u64,
+    book: Bookkeeping,
+    tracker: Option<Tracker<M>>,
+}
+
+/// Optional incremental effective-pair tracking (see
+/// [`Simulation::track_effective`]).
+#[derive(Debug, Clone)]
+struct Tracker<M: Machine> {
+    index: EffectIndex<M>,
+    pairs: PairSet,
 }
 
 impl<M: Machine> Simulation<M, Uniform> {
@@ -178,11 +185,8 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
             scheduler,
             pop,
             rng: SmallRng::seed_from_u64(seed),
-            steps: 0,
-            effective_steps: 0,
-            edge_events: 0,
-            last_output_change: 0,
-            last_effective: 0,
+            book: Bookkeeping::default(),
+            tracker: None,
         }
     }
 
@@ -201,54 +205,60 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
     /// Steps taken so far.
     #[must_use]
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.book.steps
     }
 
     /// Effective interactions so far.
     #[must_use]
     pub fn effective_steps(&self) -> u64 {
-        self.effective_steps
+        self.book.effective_steps
     }
 
     /// Edge activations/deactivations so far.
     #[must_use]
     pub fn edge_events(&self) -> u64 {
-        self.edge_events
+        self.book.edge_events
     }
 
     /// The step of the most recent edge change (0 if none yet) — the
     /// current candidate for the paper's convergence time.
     #[must_use]
     pub fn last_output_change(&self) -> u64 {
-        self.last_output_change
+        self.book.last_output_change
     }
 
     /// The step of the most recent effective interaction (0 if none yet).
     #[must_use]
     pub fn last_effective(&self) -> u64 {
-        self.last_effective
+        self.book.last_effective
     }
 
     /// Executes one scheduler-selected interaction.
+    ///
+    /// Performs exactly one δ lookup and, for flat (`StateId`) protocols,
+    /// no heap allocation: the states are passed to the machine by
+    /// reference and only the (two-word) outcome states are written back.
     pub fn step(&mut self) -> StepResult {
         let (u, v) = self.scheduler.next_pair(self.pop.n(), &mut self.rng);
-        self.steps += 1;
+        self.book.steps += 1;
         let link = Link::from(self.pop.edges().is_active(u, v));
-        let a = self.pop.state(u).clone();
-        let b = self.pop.state(v).clone();
-        match self.machine.interact(&a, &b, link, &mut self.rng) {
+        match self
+            .machine
+            .interact(self.pop.state(u), self.pop.state(v), link, &mut self.rng)
+        {
             None => StepResult::Ineffective { pair: (u, v) },
             Some((a2, b2, l2)) => {
                 let edge_changed = l2 != link;
                 if edge_changed {
                     self.pop.edges_mut().set(u, v, l2.is_on());
-                    self.edge_events += 1;
-                    self.last_output_change = self.steps;
                 }
                 self.pop.set_state(u, a2);
                 self.pop.set_state(v, b2);
-                self.effective_steps += 1;
-                self.last_effective = self.steps;
+                self.book.record_effective(edge_changed);
+                if let Some(t) = &mut self.tracker {
+                    t.index
+                        .on_interaction(&self.machine, &self.pop, &mut t.pairs, u, v);
+                }
                 StepResult::Effective {
                     pair: (u, v),
                     edge_changed,
@@ -279,14 +289,16 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
         max_steps: u64,
     ) -> RunOutcome {
         if stable(&self.pop) {
-            return self.stabilized_now();
+            return self.book.stabilized_now();
         }
-        while self.steps < max_steps {
+        while self.book.steps < max_steps {
             if self.step().is_effective() && stable(&self.pop) {
-                return self.stabilized_now();
+                return self.book.stabilized_now();
             }
         }
-        RunOutcome::MaxSteps { steps: self.steps }
+        RunOutcome::MaxSteps {
+            steps: self.book.steps,
+        }
     }
 
     /// Like [`run_until`](Self::run_until) but only re-evaluates the
@@ -298,43 +310,46 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
         max_steps: u64,
     ) -> RunOutcome {
         if stable(&self.pop) {
-            return self.stabilized_now();
+            return self.book.stabilized_now();
         }
-        while self.steps < max_steps {
+        while self.book.steps < max_steps {
             if let StepResult::Effective {
                 edge_changed: true, ..
             } = self.step()
             {
                 if stable(&self.pop) {
-                    return self.stabilized_now();
+                    return self.book.stabilized_now();
                 }
             }
         }
-        RunOutcome::MaxSteps { steps: self.steps }
-    }
-
-    fn stabilized_now(&self) -> RunOutcome {
-        RunOutcome::Stabilized {
-            detected_at: self.steps,
-            converged_at: self.last_output_change,
-            last_effective: self.last_effective,
+        RunOutcome::MaxSteps {
+            steps: self.book.steps,
         }
     }
 
     /// Whether no pair of nodes has any effective interaction — the
-    /// strongest form of stability. `O(n²)` scan.
+    /// strongest form of stability.
+    ///
+    /// With [`track_effective`](Self::track_effective) enabled this reads
+    /// the incrementally-maintained effective-pair set in O(1); otherwise
+    /// it falls back to the O(n²) pair scan — the only option for machines
+    /// without dense state indices (`EnumerableMachine`), whose
+    /// effectiveness relation cannot be tabulated up front.
     ///
     /// Note that some correct protocols never quiesce (their leaders walk
     /// forever); those stabilize in output without ever satisfying this.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
+        if let Some(t) = &self.tracker {
+            return t.pairs.is_empty();
+        }
         let n = self.pop.n();
         for u in 0..n {
-            for v in (u + 1)..n {
-                let link = Link::from(self.pop.edges().is_active(u, v));
-                if self
-                    .machine
-                    .can_affect(self.pop.state(u), self.pop.state(v), link)
+            for (v, active) in self.pop.edges().row(u) {
+                if v > u
+                    && self
+                        .machine
+                        .can_affect(self.pop.state(u), self.pop.state(v), Link::from(active))
                 {
                     return false;
                 }
@@ -344,20 +359,34 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
     }
 
     /// Whether no pair of nodes has an interaction that could change an
-    /// edge *in the current configuration*. `O(n²)` scan.
+    /// edge *in the current configuration*.
+    ///
+    /// With [`track_effective`](Self::track_effective) enabled this only
+    /// inspects the O(k) currently-effective pairs; otherwise it falls
+    /// back to the O(n²) scan (see [`is_quiescent`](Self::is_quiescent)).
     ///
     /// This is a one-configuration check, not a reachability proof: a
     /// protocol may pass it and still change edges later after node-state
     /// drift. Use per-protocol stable predicates for certification.
     #[must_use]
     pub fn is_edge_quiescent(&self) -> bool {
+        if let Some(t) = &self.tracker {
+            return t.pairs.iter().all(|(u, v)| {
+                let link = Link::from(self.pop.edges().is_active(u, v));
+                !t.index
+                    .table()
+                    .can_affect_edge(t.index.state_index(u), t.index.state_index(v), link)
+            });
+        }
         let n = self.pop.n();
         for u in 0..n {
-            for v in (u + 1)..n {
-                let link = Link::from(self.pop.edges().is_active(u, v));
-                if self
-                    .machine
-                    .can_affect_edge(self.pop.state(u), self.pop.state(v), link)
+            for (v, active) in self.pop.edges().row(u) {
+                if v > u
+                    && self.machine.can_affect_edge(
+                        self.pop.state(u),
+                        self.pop.state(v),
+                        Link::from(active),
+                    )
                 {
                     return false;
                 }
@@ -370,15 +399,33 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
     /// states. When `Q_out = Q` this is just the active-edge set.
     #[must_use]
     pub fn output_graph(&self) -> netcon_graph::EdgeSet {
-        let n = self.pop.n();
-        let mut out = netcon_graph::EdgeSet::new(n);
-        for (u, v) in self.pop.edges().active_edges() {
-            if self.machine.is_output(self.pop.state(u)) && self.machine.is_output(self.pop.state(v))
-            {
-                out.activate(u, v);
-            }
-        }
-        out
+        crate::engine::output_graph(&self.machine, &self.pop)
+    }
+}
+
+impl<M: EnumerableMachine, S: Scheduler> Simulation<M, S> {
+    /// Enables incremental effective-pair tracking: one O(n²) scan now
+    /// (plus an O(|Q|²) effect-table build), then O(n) maintenance per
+    /// *effective* step, making [`is_quiescent`](Self::is_quiescent) O(1)
+    /// and [`is_edge_quiescent`](Self::is_edge_quiescent) O(k).
+    ///
+    /// Worth it for harnesses that poll quiescence while stepping; for
+    /// runs that are dominated by ineffective steps, prefer
+    /// [`EventSim`](crate::EventSim), which gets the same bookkeeping for
+    /// free and skips the ineffective steps altogether.
+    pub fn track_effective(&mut self) {
+        let table = self.machine.effect_table();
+        let (index, pairs) = EffectIndex::build(&self.machine, &self.pop, table, |m: &M, s| {
+            m.state_index(s)
+        });
+        self.tracker = Some(Tracker { index, pairs });
+    }
+
+    /// The number of currently possibly-effective pairs, if tracking is
+    /// enabled.
+    #[must_use]
+    pub fn effective_pairs(&self) -> Option<usize> {
+        self.tracker.as_ref().map(|t| t.pairs.len())
     }
 }
 
@@ -482,6 +529,23 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_population_rejected() {
         let _ = Simulation::new(matching_protocol(), 1, 0);
+    }
+
+    #[test]
+    fn tracked_quiescence_agrees_with_scan() {
+        // Two identically-seeded runs, one with the incremental tracker:
+        // the tracker must agree with the O(n²) fallback after every step.
+        let mut tracked = Simulation::new(matching_protocol(), 14, 21);
+        tracked.track_effective();
+        let mut scanned = Simulation::new(matching_protocol(), 14, 21);
+        for _ in 0..3_000 {
+            assert_eq!(tracked.step(), scanned.step());
+            assert_eq!(tracked.is_quiescent(), scanned.is_quiescent());
+            assert_eq!(tracked.is_edge_quiescent(), scanned.is_edge_quiescent());
+        }
+        assert!(tracked.is_quiescent(), "matching on 14 nodes quiesces fast");
+        assert_eq!(tracked.effective_pairs(), Some(0));
+        assert_eq!(scanned.effective_pairs(), None);
     }
 
     #[test]

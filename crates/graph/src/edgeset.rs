@@ -11,9 +11,14 @@ use std::fmt;
 /// total number of active edges, so the shape predicates in
 /// [`properties`](crate::properties) can run degree checks in `O(n)`.
 ///
-/// Internally edges are stored in a `u64` bitset indexed by the standard
-/// triangular pair index, so the structure costs `n(n−1)/16` bytes plus the
-/// degree vector.
+/// Internally edges are stored twice: in a `u64` bitset indexed by the
+/// standard triangular pair index (the canonical form behind
+/// [`pair_index`](Self::pair_index) / [`active_edges`](Self::active_edges)),
+/// and in a redundant square adjacency bitset whose *contiguous* per-node
+/// rows make [`row`](Self::row) and [`neighbors`](Self::neighbors)
+/// sequential word scans — the access pattern the simulation engines'
+/// per-node rescans are bound on. Together they cost `3·n²/16` bytes plus
+/// the degree vector.
 ///
 /// # Example
 ///
@@ -32,6 +37,12 @@ use std::fmt;
 pub struct EdgeSet {
     n: usize,
     words: Vec<u64>,
+    /// Square adjacency mirror: bit `v` of words
+    /// `rows[u * row_words .. (u + 1) * row_words]` is the state of
+    /// `{u, v}`.
+    rows: Vec<u64>,
+    /// Words per row of the square mirror.
+    row_words: usize,
     degrees: Vec<u32>,
     active: usize,
 }
@@ -41,9 +52,12 @@ impl EdgeSet {
     #[must_use]
     pub fn new(n: usize) -> Self {
         let bits = n * n.saturating_sub(1) / 2;
+        let row_words = n.div_ceil(64);
         Self {
             n,
             words: vec![0u64; bits.div_ceil(64)],
+            rows: vec![0u64; n * row_words],
+            row_words,
             degrees: vec![0; n],
             active: 0,
         }
@@ -134,6 +148,8 @@ impl EdgeSet {
         let was = *word & mask != 0;
         if was != active {
             *word ^= mask;
+            self.rows[u * self.row_words + v / 64] ^= 1u64 << (v % 64);
+            self.rows[v * self.row_words + u / 64] ^= 1u64 << (u % 64);
             if active {
                 self.degrees[u] += 1;
                 self.degrees[v] += 1;
@@ -172,18 +188,46 @@ impl EdgeSet {
     /// Deactivates every edge.
     pub fn clear(&mut self) {
         self.words.fill(0);
+        self.rows.fill(0);
         self.degrees.fill(0);
         self.active = 0;
     }
 
-    /// Iterator over the active neighbours of `u`, in increasing order.
+    /// Iterator over the active neighbours of `u`, in increasing order —
+    /// a `trailing_zeros` word scan over the node's contiguous adjacency
+    /// row: O(n/64 + degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
     #[must_use]
     pub fn neighbors(&self, u: usize) -> Neighbors<'_> {
+        assert!(u < self.n, "node index out of range");
+        let words = &self.rows[u * self.row_words..(u + 1) * self.row_words];
         Neighbors {
-            es: self,
+            words,
+            word: words.first().copied().unwrap_or(0),
+            word_idx: 0,
+            remaining: self.degrees[u],
+        }
+    }
+
+    /// Iterator over `(v, active)` for every node `v ≠ u`, in increasing
+    /// `v` — a sequential scan of the node's contiguous adjacency row,
+    /// the access pattern of the event-driven engine's effective-pair
+    /// maintenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n`.
+    #[must_use]
+    pub fn row(&self, u: usize) -> Row<'_> {
+        assert!(u < self.n, "node index out of range");
+        Row {
+            words: &self.rows[u * self.row_words..(u + 1) * self.row_words],
+            n: self.n,
             u,
             v: 0,
-            remaining: self.degrees[u],
         }
     }
 
@@ -231,14 +275,42 @@ impl fmt::Debug for EdgeSet {
     }
 }
 
+/// Iterator over one row of the adjacency relation: `(v, active)` for all
+/// `v ≠ u`.
+///
+/// Produced by [`EdgeSet::row`].
+#[derive(Debug)]
+pub struct Row<'a> {
+    words: &'a [u64],
+    n: usize,
+    u: usize,
+    v: usize,
+}
+
+impl Iterator for Row<'_> {
+    type Item = (usize, bool);
+
+    fn next(&mut self) -> Option<(usize, bool)> {
+        if self.v == self.u {
+            self.v += 1;
+        }
+        let v = self.v;
+        if v >= self.n {
+            return None;
+        }
+        self.v += 1;
+        Some((v, self.words[v / 64] >> (v % 64) & 1 == 1))
+    }
+}
+
 /// Iterator over the active neighbours of one node.
 ///
 /// Produced by [`EdgeSet::neighbors`].
 #[derive(Debug)]
 pub struct Neighbors<'a> {
-    es: &'a EdgeSet,
-    u: usize,
-    v: usize,
+    words: &'a [u64],
+    word: u64,
+    word_idx: usize,
     remaining: u32,
 }
 
@@ -249,15 +321,17 @@ impl Iterator for Neighbors<'_> {
         if self.remaining == 0 {
             return None;
         }
-        while self.v < self.es.n {
-            let v = self.v;
-            self.v += 1;
-            if v != self.u && self.es.is_active(self.u, v) {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
                 self.remaining -= 1;
-                return Some(v);
+                return Some(self.word_idx * 64 + bit);
             }
+            self.word_idx += 1;
+            // The degree guard above means a set bit is still ahead.
+            self.word = self.words[self.word_idx];
         }
-        None
     }
 }
 
@@ -333,6 +407,31 @@ mod tests {
         let mut edges = es.active_edges().collect::<Vec<_>>();
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 3), (1, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn row_matches_is_active_everywhere() {
+        // Pseudo-random edge pattern, then every row must agree with the
+        // reference per-pair lookup (this pins the incremental triangular
+        // index arithmetic).
+        for n in [1usize, 2, 3, 7, 12, 30] {
+            let mut es = EdgeSet::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if (u * 31 + v * 17) % 3 == 0 {
+                        es.activate(u, v);
+                    }
+                }
+            }
+            for u in 0..n {
+                let row: Vec<(usize, bool)> = es.row(u).collect();
+                let expect: Vec<(usize, bool)> = (0..n)
+                    .filter(|&v| v != u)
+                    .map(|v| (v, es.is_active(u, v)))
+                    .collect();
+                assert_eq!(row, expect, "row({u}) of n={n}");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,20 @@
 //! assert!(outcome.stabilized());
 //! assert!(is_spanning_star(sim.population().edges()));
 //! ```
+//!
+//! For measurement-grade runs, compile the protocol and use the exact
+//! event-driven engine — identical output distribution, cost proportional
+//! to *effective* interactions only:
+//!
+//! ```
+//! use netcon::core::EventSim;
+//! use netcon::protocols::global_star;
+//!
+//! let mut sim = EventSim::new(global_star::protocol().compile(), 128, 7);
+//! let outcome = sim.run_until(global_star::is_stable, u64::MAX);
+//! assert!(outcome.stabilized());
+//! assert!(sim.is_quiescent()); // O(1)
+//! ```
 
 pub use netcon_analysis as analysis;
 pub use netcon_core as core;

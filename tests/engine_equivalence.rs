@@ -1,0 +1,165 @@
+//! Paired-trial statistical equivalence of the two engines.
+//!
+//! `EventSim` is exact by construction: its `converged_at` / step-count
+//! distributions equal `Simulation`'s under the uniform scheduler. These
+//! tests check that claim empirically with ≥ 200 independent trials per
+//! engine per workload (disjoint seed streams, Welch z on the means,
+//! ratio bound on the variances). Seeds are fixed, so the suite is
+//! deterministic: the thresholds are set at ≈ 4σ of the null, far from
+//! both flakiness and real regressions (an engine bug that biases the
+//! skip law shows up as tens of σ).
+
+use netcon::core::seeds::derive2;
+use netcon::core::{EventSim, Link, Population, ProtocolBuilder, RuleProtocol, Simulation, StateId};
+use netcon::graph::properties::is_maximum_matching;
+use netcon::protocols::{cycle_cover, simple_global_line};
+
+/// Mean and sample variance of `converged_at` over `trials` runs.
+fn sample(
+    protocol: &RuleProtocol,
+    stable: impl Fn(&Population<StateId>) -> bool,
+    n: usize,
+    trials: u64,
+    base_seed: u64,
+    event: bool,
+) -> (f64, f64) {
+    let compiled = protocol.compile();
+    let samples: Vec<f64> = (0..trials)
+        .map(|t| {
+            let seed = derive2(base_seed, n as u64, t);
+            let out = if event {
+                EventSim::new(compiled.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
+            } else {
+                Simulation::new(protocol.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
+            };
+            out.converged_at().expect("stabilizes") as f64
+        })
+        .collect();
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        / (samples.len() - 1) as f64;
+    (mean, var)
+}
+
+/// Asserts the two engines' `converged_at` means are within ≈ 4σ (Welch)
+/// and the variances within a generous ratio window.
+fn assert_equivalent(
+    name: &str,
+    protocol: &RuleProtocol,
+    stable: impl Fn(&Population<StateId>) -> bool + Copy,
+    n: usize,
+    trials: u64,
+) {
+    let (me, ve) = sample(protocol, stable, n, trials, 101, true);
+    let (mn, vn) = sample(protocol, stable, n, trials, 202, false);
+    let se = (ve / trials as f64 + vn / trials as f64).sqrt();
+    let z = (me - mn) / se;
+    assert!(
+        z.abs() < 4.0,
+        "{name} n={n}: means differ by {z:.1}σ (event {me:.0} ± var {ve:.0}, naive {mn:.0} ± var {vn:.0})"
+    );
+    let ratio = ve.max(vn) / ve.min(vn).max(1.0);
+    assert!(
+        ratio < 2.5,
+        "{name} n={n}: variance ratio {ratio:.2} (event {ve:.0}, naive {vn:.0})"
+    );
+    // And the means must be close in relative terms too (the acceptance
+    // bar for the engine refactor): < 5% once trials ≥ 200.
+    let rel = (me - mn).abs() / mn;
+    assert!(
+        rel < 0.05,
+        "{name} n={n}: relative mean gap {:.2}% exceeds 5%",
+        100.0 * rel
+    );
+}
+
+fn matching_protocol() -> RuleProtocol {
+    let mut b = ProtocolBuilder::new("matching");
+    let a = b.state("a");
+    let m = b.state("b");
+    b.rule((a, a, Link::Off), (m, m, Link::On));
+    b.build().expect("valid")
+}
+
+#[test]
+fn simple_global_line_matches_naive_engine() {
+    // Θ(n⁴)-class workload; n stays small so the naive side finishes.
+    // converged_at's relative sd here is ≈ 70%, so the 5% mean bar needs
+    // thousands of trials to sit at ≳ 3σ of the null.
+    assert_equivalent(
+        "Simple-Global-Line",
+        &simple_global_line::protocol(),
+        simple_global_line::is_stable,
+        16,
+        3_000,
+    );
+}
+
+#[test]
+fn cycle_cover_matches_naive_engine() {
+    assert_equivalent(
+        "Cycle-Cover",
+        &cycle_cover::protocol(),
+        cycle_cover::is_stable,
+        32,
+        5_000,
+    );
+}
+
+#[test]
+fn matching_process_matches_naive_engine() {
+    assert_equivalent(
+        "Maximum-Matching",
+        &matching_protocol(),
+        |p| is_maximum_matching(p.edges()),
+        32,
+        5_000,
+    );
+}
+
+#[test]
+fn step_budget_distribution_matches() {
+    // MaxSteps outcomes must also agree: with a budget below the typical
+    // convergence time, both engines should time out at the same rate and
+    // report exactly the budget.
+    let p = matching_protocol();
+    let compiled = p.compile();
+    let n = 40;
+    let budget = 300; // ~ half the typical matching time at n=40
+    let trials = 400u64;
+    let timeouts = |event: bool| -> (u64, u64) {
+        let mut timed_out = 0;
+        let mut stabilized = 0;
+        for t in 0..trials {
+            let seed = derive2(if event { 77 } else { 88 }, n as u64, t);
+            let out = if event {
+                EventSim::new(compiled.clone(), n, seed)
+                    .run_until(|q| is_maximum_matching(q.edges()), budget)
+            } else {
+                Simulation::new(p.clone(), n, seed)
+                    .run_until(|q| is_maximum_matching(q.edges()), budget)
+            };
+            match out {
+                netcon::core::RunOutcome::MaxSteps { steps } => {
+                    assert_eq!(steps, budget);
+                    timed_out += 1;
+                }
+                netcon::core::RunOutcome::Stabilized { detected_at, .. } => {
+                    assert!(detected_at <= budget);
+                    stabilized += 1;
+                }
+            }
+        }
+        (timed_out, stabilized)
+    };
+    let (te, se_) = timeouts(true);
+    let (tn, sn) = timeouts(false);
+    assert_eq!(te + se_, trials);
+    assert_eq!(tn + sn, trials);
+    // Binomial SE at 400 trials is ≤ 0.025; allow ~4σ.
+    let diff = (te as f64 - tn as f64).abs() / trials as f64;
+    assert!(
+        diff < 0.10,
+        "timeout rates diverge: event {te}/{trials} vs naive {tn}/{trials}"
+    );
+}

@@ -1,5 +1,5 @@
 //! Guarantees the `examples/` directory stays in sync with the library
-//! API: `cargo build --examples` must succeed for all seven examples.
+//! API: `cargo build --examples` must succeed for every example.
 //!
 //! CI also runs `cargo build --examples` directly; this test gives the
 //! same guarantee to anyone running plain `cargo test` locally. It
