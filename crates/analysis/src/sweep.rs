@@ -1,6 +1,6 @@
 //! Parallel trial sweeps over a ladder of population sizes.
 
-use netcon_core::{EventSim, Machine, Population, RuleProtocol, StateId};
+use netcon_core::{CompiledTable, Engine, EngineView, Machine, Population, RuleProtocol, StateId};
 
 use crate::stats::Summary;
 
@@ -88,15 +88,23 @@ where
 }
 
 /// Sweeps a flat protocol's convergence time (`converged_at`, the paper's
-/// sequential running time) on the **event-driven engine**: the protocol
-/// is compiled once, and each trial runs on an
-/// [`EventSim`](netcon_core::EventSim) whose step counts are identical in
-/// distribution to the naive loop at a fraction of the cost.
+/// sequential running time) on the **auto-selected event engine**: the
+/// protocol is compiled once, each trial runs on
+/// [`Engine::auto`](netcon_core::Engine::auto) — the dense event engine
+/// within the memory budget, the sparse bucket engine beyond it — and
+/// both arms' step counts are identical in distribution to the naive
+/// loop at a fraction of the cost.
 ///
 /// `stable` must certify output stability (as the per-protocol predicates
 /// in `netcon-protocols` do). Trials that exhaust `max_steps` panic —
 /// sweeps are measurements, and a censored sample would silently bias the
 /// fit.
+///
+/// The dense predicate keeps this entry point source-compatible; when a
+/// sweep size is large enough that the selector goes sparse, each
+/// evaluation materializes a dense [`Population`] (Θ(n²)). Frontier-scale
+/// sweeps should use [`sweep_converged_at_view`] with a sparse-clean
+/// predicate instead.
 ///
 /// # Panics
 ///
@@ -110,11 +118,34 @@ pub fn sweep_converged_at<P>(
 where
     P: Fn(&Population<StateId>) -> bool + Sync,
 {
+    sweep_converged_at_view(cfg, protocol, |view| match view {
+        EngineView::Dense { pop, .. } => stable(pop),
+        sparse @ EngineView::Sparse { .. } => stable(&sparse.to_population()),
+    }, max_steps)
+}
+
+/// [`sweep_converged_at`] with the predicate over the engine-selection
+/// view, so sparse-clean predicates (e.g.
+/// `simple_global_line::is_stable_view`) run at frontier sizes without
+/// any Θ(n²) structure ever existing.
+///
+/// # Panics
+///
+/// Panics if any trial fails to stabilize within `max_steps`.
+pub fn sweep_converged_at_view<P>(
+    cfg: &SweepConfig,
+    protocol: &RuleProtocol,
+    stable: P,
+    max_steps: u64,
+) -> SweepTable
+where
+    P: Fn(&EngineView<'_, CompiledTable>) -> bool + Sync,
+{
     let compiled = protocol.compile();
     let name = protocol.name().to_owned();
     sweep(cfg, |n, seed| {
-        let mut sim = EventSim::new(compiled.clone(), n, seed);
-        sim.run_until(|p| stable(p), max_steps)
+        let mut eng = Engine::auto(compiled.clone(), n, seed);
+        eng.run_until(|v| stable(v), max_steps)
             .converged_at()
             .unwrap_or_else(|| panic!("{name} did not stabilize on n={n} within {max_steps}"))
             as f64

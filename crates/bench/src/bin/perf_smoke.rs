@@ -1,17 +1,32 @@
 //! Executes every bench target (not just compiles them) and writes
-//! `BENCH_PR2.json`: per-bench wall-clock plus the event-vs-naive engine
-//! record (effective/total step counts and the speedup figure) for the
-//! line constructors — the seed of the repo's perf trajectory.
+//! `BENCH_PR3.json`: per-bench wall-clock, the engine speedup record,
+//! per-engine measured memory, and the sparse-engine scaling frontier —
+//! plus an optional regression gate against a committed baseline.
 //!
 //! ```sh
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke
+//! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke -- \
+//!     --out bench-smoke.json --check BENCH_PR3.json   # CI gate
 //! ```
 //!
 //! `NETCON_BENCH_SCALE` (percent) is inherited by the spawned bench
 //! processes and by the in-process engine measurement; CI uses the
 //! minimum (1) so the whole suite stays in smoke-test territory. The
-//! output path defaults to `BENCH_PR2.json` in the workspace root and can
-//! be overridden with `--out <path>`.
+//! output path defaults to `BENCH_PR3.json` in the workspace root
+//! (`--out <path>` overrides).
+//!
+//! `--check <baseline.json>` compares this run's per-bench wall-clock
+//! against the baseline's `benches` section and exits non-zero when any
+//! target regressed by more than `NETCON_BENCH_TOLERANCE` × (default
+//! 2.5×, small-time floor 0.1 s). The gate only fires when the two runs
+//! used the same `bench_scale_pct` — comparing a smoke run against a
+//! full-scale record would be noise.
+//!
+//! The `scaling_frontier` section (Simple-Global-Line / Cycle-Cover on
+//! the bucket engine at n ∈ {20k, 50k, 100k}) is expensive (~15 min) and
+//! is regenerated only when `NETCON_FRONTIER=1`; otherwise any section
+//! already present in the output file is carried forward, like the
+//! `large_sample_agreement_n256` record.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -19,8 +34,9 @@ use std::process::Command;
 use std::time::Instant;
 
 use netcon_bench::harness::scale;
-use netcon_bench::speedup::{compare_engines, Comparison};
-use netcon_protocols::{fast_global_line, simple_global_line};
+use netcon_bench::speedup::{bucket_stats, compare_engines, Comparison};
+use netcon_core::{BucketSim, CompiledTable, EventSim, Simulation, SparsePop};
+use netcon_protocols::{cycle_cover, fast_global_line, simple_global_line};
 
 fn bench_targets(bench_dir: &Path) -> Vec<String> {
     let mut names: Vec<String> = std::fs::read_dir(bench_dir)
@@ -34,12 +50,13 @@ fn bench_targets(bench_dir: &Path) -> Vec<String> {
     names
 }
 
-/// Extracts the `large_sample_agreement_n256` object (key line through
-/// its matching closing brace, no trailing comma/newline) from an
-/// existing output file, so cheap re-runs preserve the expensive record.
-fn carry_forward_section(out_path: &Path) -> Option<String> {
+/// Extracts a top-level `"key": { … }` object (key line through its
+/// matching closing brace, no trailing comma/newline) from an existing
+/// output file, so cheap re-runs preserve expensive records.
+fn carry_forward_section(out_path: &Path, key: &str) -> Option<String> {
     let old = std::fs::read_to_string(out_path).ok()?;
-    let start = old.find("\"large_sample_agreement_n256\"")?;
+    let needle = format!("\"{key}\"");
+    let start = old.find(&needle)?;
     let brace = start + old[start..].find('{')?;
     let mut depth = 0usize;
     for (i, ch) in old[brace..].char_indices() {
@@ -55,6 +72,75 @@ fn carry_forward_section(out_path: &Path) -> Option<String> {
         }
     }
     None
+}
+
+/// Parses the `benches` array of a perf_smoke JSON (our own format: one
+/// `{ "name": …, "wall_s": … }` object per line) plus its
+/// `bench_scale_pct`.
+fn parse_baseline(text: &str) -> (Option<String>, Vec<(String, f64)>) {
+    let scale_pct = text
+        .find("\"bench_scale_pct\"")
+        .and_then(|i| text[i..].split('"').nth(3).map(str::to_owned));
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(ni) = line.find("\"name\": \"") else { continue };
+        let rest = &line[ni + 9..];
+        let Some(name) = rest.split('"').next() else { continue };
+        let Some(wi) = line.find("\"wall_s\": ") else { continue };
+        let wall: f64 = line[wi + 10..]
+            .trim_end_matches(|c: char| c == '}' || c == ',' || c.is_whitespace())
+            .parse()
+            .unwrap_or(f64::NAN);
+        if wall.is_finite() {
+            rows.push((name.to_owned(), wall));
+        }
+    }
+    (scale_pct, rows)
+}
+
+/// The regression gate: every target present in both runs must stay
+/// within `tolerance ×` of the baseline (with a 0.1 s floor so
+/// micro-targets cannot flake the gate on scheduler noise).
+fn check_against_baseline(
+    baseline_path: &Path,
+    current_scale: &str,
+    rows: &[(String, f64)],
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let (base_scale, baseline) = parse_baseline(&text);
+    let base_scale = base_scale.unwrap_or_default();
+    if base_scale != current_scale {
+        println!(
+            "--check: baseline scale {base_scale}% != current {current_scale}%; \
+             gate skipped (regenerate the baseline at the matching scale)"
+        );
+        return Ok(());
+    }
+    let tolerance: f64 = std::env::var("NETCON_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.5);
+    let mut failures = Vec::new();
+    println!("\n--check against {} (tolerance {tolerance}x):", baseline_path.display());
+    for (name, wall) in rows {
+        let Some((_, base)) = baseline.iter().find(|(b, _)| b == name) else {
+            println!("  {name:<24} {wall:>8.3}s (new target, no baseline)");
+            continue;
+        };
+        let floor = base.max(0.1);
+        let ratio = wall / floor;
+        let verdict = if *wall > tolerance * floor { "REGRESSED" } else { "ok" };
+        println!("  {name:<24} {wall:>8.3}s vs {base:>8.3}s ({ratio:>5.2}x) {verdict}");
+        if *wall > tolerance * floor {
+            failures.push(format!("{name}: {wall:.3}s vs baseline {base:.3}s"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("wall-clock regressions beyond {tolerance}x: {failures:?}"))
+    }
 }
 
 fn json_engine(out: &mut String, key: &str, c: &Comparison) {
@@ -75,30 +161,166 @@ fn json_engine(out: &mut String, key: &str, c: &Comparison) {
     );
 }
 
+/// Constructed-engine memory at a ladder of sizes: the measured
+/// Θ(n²)-vs-O(n) record (`approx_mem_bytes`, not an estimate). Engines
+/// whose construction would not fit the CI box are reported as `null`.
+fn engine_memory_section() -> String {
+    let protocol = simple_global_line::protocol();
+    let compiled = protocol.compile();
+    let mut s = String::from("  \"engine_memory_bytes\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"approx_mem_bytes of freshly constructed engines, Simple-Global-Line; null = dense structures would not fit the CI box\","
+    );
+    s.push_str("    \"rows\": [\n");
+    let sizes = [256usize, 2_000, 8_000, 20_000, 100_000];
+    for (i, &n) in sizes.iter().enumerate() {
+        let naive = if n <= 20_000 {
+            format!("{}", Simulation::new(protocol.clone(), n, 1).approx_mem_bytes())
+        } else {
+            "null".into()
+        };
+        let event = if n <= 8_000 {
+            format!("{}", EventSim::new(compiled.clone(), n, 1).approx_mem_bytes())
+        } else {
+            "null".into()
+        };
+        let bucket = BucketSim::new(compiled.clone(), n, 1).approx_mem_bytes();
+        let event_estimate = EventSim::<CompiledTable>::dense_mem_estimate(n);
+        let comma = if i + 1 < sizes.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{ \"n\": {n}, \"naive\": {naive}, \"event\": {event}, \"event_estimate\": {event_estimate}, \"bucket\": {bucket} }}{comma}"
+        );
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
+/// The bucket engine's head-to-head record at n = 256 (its overhead
+/// regime: small n, where the dense engine is fastest), with the
+/// measured memory column.
+fn bucket_engine_section(scale_trials: usize) -> String {
+    let mut s = String::from("  \"bucket_engine\": {\n");
+    let mut first = true;
+    for (key, protocol, sparse) in [
+        (
+            "simple_global_line_n256",
+            simple_global_line::protocol(),
+            simple_global_line::is_stable_sparse as fn(&SparsePop) -> bool,
+        ),
+        (
+            "cycle_cover_n256",
+            cycle_cover::protocol(),
+            cycle_cover::is_stable_sparse as fn(&SparsePop) -> bool,
+        ),
+    ] {
+        let (stats, mem) = bucket_stats(&protocol, sparse, 256, scale_trials, 9);
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "    \"{key}\": {{\n      \"n\": 256,\n      \"trials\": {},\n      \"mean_converged_at\": {:.1},\n      \"mean_effective_steps\": {:.1},\n      \"wall_s\": {:.4},\n      \"approx_mem_bytes\": {}\n    }}",
+            stats.trials, stats.mean_converged, stats.mean_effective, stats.wall_s, mem
+        );
+    }
+    s.push_str("\n  }");
+    s
+}
+
+/// The frontier record: bucket-engine runs at n ∈ {20k, 50k, 100k}.
+/// ~15 minutes of single-core work — only under `NETCON_FRONTIER=1`.
+fn scaling_frontier_section() -> String {
+    let mut s = String::from("  \"scaling_frontier\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"regenerate with NETCON_FRONTIER=1 cargo run --release -p netcon-bench --bin perf_smoke (~15 min); runs without that variable carry this section forward\","
+    );
+    let mut first = true;
+    for (key, protocol, sparse) in [
+        (
+            "simple_global_line",
+            simple_global_line::protocol(),
+            simple_global_line::is_stable_sparse as fn(&SparsePop) -> bool,
+        ),
+        (
+            "cycle_cover",
+            cycle_cover::protocol(),
+            cycle_cover::is_stable_sparse as fn(&SparsePop) -> bool,
+        ),
+    ] {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let _ = writeln!(s, "    \"{key}\": [");
+        let compiled = protocol.compile();
+        for (i, n) in [20_000usize, 50_000, 100_000].into_iter().enumerate() {
+            println!("==> frontier: {key} n = {n} (bucket engine)");
+            let t0 = Instant::now();
+            let mut sim = BucketSim::new(compiled.clone(), n, 2014 + n as u64);
+            let out = sim.run_until(sparse, u64::MAX);
+            let wall = t0.elapsed().as_secs_f64();
+            let converged = out
+                .converged_at()
+                .unwrap_or_else(|| panic!("{key} did not stabilize at n={n}"));
+            let mem = sim.approx_mem_bytes();
+            assert!(mem < 100 << 20, "{key} n={n}: {mem} bytes >= 100 MB");
+            let comma = if i < 2 { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "      {{ \"n\": {n}, \"engine\": \"bucket-sparse\", \"converged_at\": {converged}, \"effective_steps\": {}, \"wall_s\": {wall:.2}, \"approx_mem_bytes\": {mem}, \"event_mem_estimate_bytes\": {} }}{comma}",
+                sim.effective_steps(),
+                EventSim::<CompiledTable>::dense_mem_estimate(n),
+            );
+        }
+        let _ = write!(s, "    ]");
+    }
+    s.push_str("\n  }");
+    s
+}
+
 fn main() {
-    let out_path = {
+    let (out_path, check_path) = {
         let mut args = std::env::args().skip(1);
-        let mut path: Option<PathBuf> = None;
+        let mut out: Option<PathBuf> = None;
+        let mut check: Option<PathBuf> = None;
         while let Some(a) = args.next() {
             if a == "--out" {
-                path = Some(PathBuf::from(
-                    args.next().expect("--out requires a path argument"),
-                ));
+                out = Some(PathBuf::from(args.next().expect("--out requires a path")));
             } else if let Some(p) = a.strip_prefix("--out=") {
-                path = Some(PathBuf::from(p));
+                out = Some(PathBuf::from(p));
+            } else if a == "--check" {
+                check = Some(PathBuf::from(args.next().expect("--check requires a path")));
+            } else if let Some(p) = a.strip_prefix("--check=") {
+                check = Some(PathBuf::from(p));
             } else {
                 // Refuse rather than silently overwrite the committed
                 // baseline on a typo.
-                panic!("unrecognized argument {a:?}; usage: perf_smoke [--out <path>]");
+                panic!("unrecognized argument {a:?}; usage: perf_smoke [--out <path>] [--check <baseline>]");
             }
         }
-        path.unwrap_or_else(|| {
-            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR2.json")
-        })
+        (
+            out.unwrap_or_else(|| {
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json")
+            }),
+            check,
+        )
     };
     let scale_pct = std::env::var("NETCON_BENCH_SCALE").unwrap_or_else(|_| "100".into());
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let bench_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("benches");
+
+    // Warm build so compilation never lands inside a target's wall-clock
+    // (a cold CI cache would otherwise trip the regression gate).
+    println!("==> cargo bench --no-run (warm build, untimed)");
+    let status = Command::new(&cargo)
+        .args(["bench", "-p", "netcon-bench", "--no-run"])
+        .status()
+        .expect("failed to spawn cargo bench --no-run");
+    assert!(status.success(), "bench warm build failed");
 
     let mut rows = Vec::new();
     for name in bench_targets(&bench_dir) {
@@ -137,11 +359,27 @@ fn main() {
         9,
     );
 
+    println!("==> engine memory ladder + bucket engine record");
+    let memory_section = engine_memory_section();
+    let bucket_section = bucket_engine_section(scale(200).max(100));
+
+    // Expensive sections carry forward from the output file, or — when
+    // writing somewhere fresh, as CI's bench-smoke does — from the
+    // --check baseline, so the uploaded artifact keeps the records.
+    let carry = |key: &str| {
+        carry_forward_section(&out_path, key)
+            .or_else(|| check_path.as_deref().and_then(|p| carry_forward_section(p, key)))
+    };
+    let frontier = if std::env::var("NETCON_FRONTIER").is_ok_and(|v| v == "1") {
+        Some(scaling_frontier_section())
+    } else {
+        carry("scaling_frontier")
+    };
+
     // Large-sample mean-agreement record. `NETCON_NAIVE_TRIALS_256=<k>`
-    // (k ≥ 100; the committed baseline uses 1000, ≈ 25 min) regenerates
-    // it; otherwise any section already present in the output file is
-    // carried forward, so quick re-runs don't destroy the expensive
-    // record.
+    // (k ≥ 100; ≈ 25 min at 1000) regenerates it; otherwise any section
+    // already present in the output file is carried forward, so quick
+    // re-runs don't destroy the expensive record.
     let ref_trials: usize = std::env::var("NETCON_NAIVE_TRIALS_256")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -178,12 +416,12 @@ fn main() {
         s.push_str("\n  }");
         Some(s)
     } else {
-        carry_forward_section(&out_path)
+        carry("large_sample_agreement_n256")
     };
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(json, "  \"pr\": 3,");
     let _ = writeln!(json, "  \"bench_scale_pct\": \"{scale_pct}\",");
     json.push_str("  \"benches\": [\n");
     for (i, (name, wall)) in rows.iter().enumerate() {
@@ -198,18 +436,33 @@ fn main() {
     json_engine(&mut json, "simple_global_line_n256", &simple);
     json.push_str(",\n");
     json_engine(&mut json, "fast_global_line_n256", &fast);
-    json.push_str("\n  }");
+    json.push_str("\n  },\n");
+    json.push_str(&memory_section);
+    json.push_str(",\n");
+    json.push_str(&bucket_section);
+    if let Some(section) = frontier {
+        json.push_str(",\n");
+        json.push_str(&section);
+    }
     if let Some(section) = large_sample {
         json.push_str(",\n");
         json.push_str(&section);
     }
     json.push_str("\n}\n");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_PR2.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR3.json");
     println!(
         "\nwrote {} ({} bench targets; Simple-Global-Line n=256 speedup {:.0}x)",
         out_path.display(),
         rows.len(),
         simple.speedup
     );
+
+    if let Some(baseline) = check_path {
+        if let Err(msg) = check_against_baseline(&baseline, &scale_pct, &rows) {
+            eprintln!("\nREGRESSION GATE FAILED\n{msg}");
+            std::process::exit(1);
+        }
+        println!("regression gate passed");
+    }
 }

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use netcon_core::seeds::derive2;
-use netcon_core::{EventSim, Population, RuleProtocol, Simulation, StateId};
+use netcon_core::{BucketSim, EventSim, Population, RuleProtocol, Simulation, SparsePop, StateId};
 
 /// Per-engine aggregates over a trial set.
 #[derive(Debug, Clone, Copy)]
@@ -118,4 +118,36 @@ pub fn compare_engines(
         event,
         naive,
     }
+}
+
+/// The sparse bucket engine's side of the record: per-trial aggregates
+/// plus the engine's measured heap footprint
+/// ([`BucketSim::approx_mem_bytes`]) after the last trial.
+///
+/// # Panics
+///
+/// Panics if any trial fails to stabilize.
+#[must_use]
+pub fn bucket_stats(
+    protocol: &RuleProtocol,
+    sparse_stable: fn(&SparsePop) -> bool,
+    n: usize,
+    trials: usize,
+    base_seed: u64,
+) -> (EngineStats, u64) {
+    let compiled = protocol.compile();
+    let mut samples = Vec::with_capacity(trials);
+    let mut mem = 0u64;
+    let t0 = Instant::now();
+    for t in 0..trials {
+        let mut sim = BucketSim::new(compiled.clone(), n, derive2(base_seed, n as u64, t as u64));
+        let out = sim.run_until(sparse_stable, u64::MAX);
+        samples.push((
+            out.converged_at().expect("stabilizes") as f64,
+            sim.steps() as f64,
+            sim.effective_steps() as f64,
+        ));
+        mem = sim.approx_mem_bytes();
+    }
+    (stats_of(&samples, t0.elapsed().as_secs_f64()), mem)
 }

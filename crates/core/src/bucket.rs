@@ -1,0 +1,1027 @@
+//! The sparse state-bucketed event engine: exact uniform-scheduler
+//! simulation in O(n + |Q|²) memory.
+//!
+//! [`EventSim`](crate::EventSim) tracks the possibly-effective pairs
+//! *individually* — a dense pair-position matrix plus membership bitsets,
+//! Θ(n²) bytes that wall off populations beyond a few tens of thousands
+//! of nodes. [`BucketSim`] replaces the pair set with **per-state
+//! buckets** and reconstructs the same sampling law from counts:
+//!
+//! 1. Its candidate set `E'` is defined by *state pairs*, not node pairs:
+//!    an ordered pair `(u, v)` is a candidate iff
+//!    `can_affect(q_u, q_v, 0)` (an **off bucket** — every node pair with
+//!    those states, counted as `c_s·c_t` from the bucket sizes alone), or
+//!    the edge `{u, v}` is active and `can_affect(q_u, q_v, 1)` holds
+//!    while `can_affect(q_u, q_v, 0)` does not (the **on list** — an
+//!    explicit list of active edges, which for the bounded-degree outputs
+//!    of the paper's constructors has O(n) entries). `E'` is a superset
+//!    of the exactly-effective set `E`: every pair outside `E'` has
+//!    `can_affect(q_u, q_v, link) = false` for its *actual* link, so the
+//!    naive engine would draw it to no effect.
+//! 2. With `K = |E'|` (ordered) out of `n(n−1)` ordered pairs, the number
+//!    of consecutive draws that miss `E'` is geometric with
+//!    `p = K / n(n−1)` — states are frozen during misses, exactly the
+//!    argument of the dense engine, with `E'` in place of `E`. The count
+//!    comes from the same inversion draw
+//!    ([`geometric_skip`](crate::geometric_skip)).
+//! 3. A candidate is then drawn uniformly from `E'`: an off bucket with
+//!    probability proportional to its pair count (one cumulative-weight
+//!    search over ≤ |Q|² integers), then a uniform member from each
+//!    side's bucket (swap-remove `Vec`s indexed by
+//!    [`EnumerableMachine`] state ids); or an on-list entry uniformly.
+//!    The candidate is **accepted or rejected on its actual edge state**:
+//!    if `can_affect(q_u, q_v, link)` fails the draw is recorded as one
+//!    ordinary ineffective step (exactly what the naive engine would
+//!    record for it); otherwise `interact` runs with real coins.
+//!
+//! Conditioned on hitting `E'`, the uniform scheduler selects uniformly
+//! within `E'` — which is precisely the bucket draw — so every statistic
+//! (`steps`, `effective_steps`, `converged_at`, the full configuration
+//! process) has **identical distribution** to the naive
+//! [`Simulation`](crate::Simulation) and therefore to
+//! [`EventSim`](crate::EventSim), coin for coin the same argument with a
+//! coarser skipped set. The cost of the coarseness is the rejected
+//! candidates; for the paper's constructors the on/off split keeps the
+//! rejection rate near zero (link-sensitive rules pair rare states or
+//! ride the on list).
+//!
+//! Maintenance is O(1) per node-state change (two swap-removes and a
+//! dirty flag for the ≤ |Q|² cumulative weights) plus O(deg) per touched
+//! node for the on list, and memory is O(n + |Q|²): at n = 100 000
+//! Simple-Global-Line runs in a few megabytes where the dense pair map
+//! alone would need ~40 GB.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::compiled::{EffectTable, EnumerableMachine};
+use crate::engine::{geometric_skip, unit_open01, Bookkeeping};
+use crate::event::EventStep;
+use crate::sim::{RunOutcome, StepResult};
+use crate::{Link, Population};
+
+/// Monomorphic indexed-interaction entry point captured from
+/// [`EnumerableMachine::interact_indexed`] at construction.
+type InteractFn<M> = fn(&M, usize, usize, Link, &mut SmallRng) -> Option<(usize, usize, Link)>;
+
+/// Sentinel for "this active edge is not on the on list".
+const NOT_ON: u32 = u32::MAX;
+
+/// One adjacency cell: the neighbour plus the edge's position in the on
+/// list (mirrored in the neighbour's cell), so on-list membership reads
+/// and writes ride the adjacency scans the engine does anyway — no
+/// hashing in the hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AdjCell {
+    to: u32,
+    on_pos: u32,
+}
+
+/// A sparse configuration: per-node state indices, per-state node
+/// buckets, and adjacency lists of the active edges — everything a
+/// stability predicate can ask of a [`BucketSim`] without any Θ(n²)
+/// structure existing.
+///
+/// Node ids are `u32` (the engine's population cap), state ids are the
+/// machine's dense [`EnumerableMachine`] indices.
+#[derive(Debug, Clone)]
+pub struct SparsePop {
+    /// Dense state index of every node.
+    idx: Vec<u16>,
+    /// Per-state member lists (swap-remove keeps them compact).
+    buckets: Vec<Vec<u32>>,
+    /// Position of each node inside its bucket.
+    pos: Vec<u32>,
+    /// Active-edge adjacency lists, unordered within a row; each cell
+    /// carries the edge's on-list position (or [`NOT_ON`]).
+    adj: Vec<Vec<AdjCell>>,
+    /// Number of active edges.
+    active: usize,
+}
+
+impl SparsePop {
+    /// Builds the configuration with every node in state `initial` and no
+    /// active edges.
+    fn new(n: usize, num_states: usize, initial: usize) -> Self {
+        let mut buckets = vec![Vec::new(); num_states];
+        buckets[initial] = (0..n as u32).collect();
+        Self {
+            idx: vec![u16::try_from(initial).expect("≤ 65536 states"); n],
+            buckets,
+            pos: (0..n as u32).collect(),
+            adj: vec![Vec::new(); n],
+            active: 0,
+        }
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// The dense state index of node `u`.
+    #[must_use]
+    pub fn state_index(&self, u: usize) -> usize {
+        usize::from(self.idx[u])
+    }
+
+    /// The number of nodes currently in state `s`.
+    #[must_use]
+    pub fn count_index(&self, s: usize) -> usize {
+        self.buckets[s].len()
+    }
+
+    /// The nodes currently in state `s` (arbitrary order).
+    #[must_use]
+    pub fn nodes_index(&self, s: usize) -> &[u32] {
+        &self.buckets[s]
+    }
+
+    /// The number of active edges.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// The active degree of node `u`.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// The active neighbours of node `u` (arbitrary order).
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[u].iter().map(|c| c.to as usize)
+    }
+
+    /// Whether the edge `{u, v}` is active — an O(min degree) adjacency
+    /// scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is out of range.
+    #[must_use]
+    pub fn is_active(&self, u: usize, v: usize) -> bool {
+        assert!(u != v, "self-loops are not part of the model");
+        let (a, b) = if self.adj[u].len() <= self.adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a].iter().any(|c| c.to as usize == b)
+    }
+
+    /// Materializes the dense active-edge set — Θ(n²) bits; for
+    /// inspection and small-n testing, not for the 100k-node frontier.
+    #[must_use]
+    pub fn to_edgeset(&self) -> netcon_graph::EdgeSet {
+        let mut es = netcon_graph::EdgeSet::new(self.n());
+        for (u, row) in self.adj.iter().enumerate() {
+            for c in row {
+                if (c.to as usize) > u {
+                    es.activate(u, c.to as usize);
+                }
+            }
+        }
+        es
+    }
+
+    /// Moves node `u` to state `new`; returns whether the state changed.
+    fn set_state_index(&mut self, u: usize, new: usize) -> bool {
+        let old = usize::from(self.idx[u]);
+        if old == new {
+            return false;
+        }
+        // Swap-remove from the old bucket…
+        let p = self.pos[u] as usize;
+        let bucket = &mut self.buckets[old];
+        bucket.swap_remove(p);
+        if let Some(&moved) = bucket.get(p) {
+            self.pos[moved as usize] = p as u32;
+        }
+        // …push into the new one.
+        let target = &mut self.buckets[new];
+        self.pos[u] = target.len() as u32;
+        target.push(u as u32);
+        self.idx[u] = u16::try_from(new).expect("≤ 65536 states");
+        true
+    }
+
+    /// Sets the state of edge `{u, v}` in the adjacency lists. Returns
+    /// the edge's on-list position at removal ([`NOT_ON`] otherwise) so
+    /// the engine can repair its on list.
+    fn set_edge(&mut self, u: usize, v: usize, active: bool) -> u32 {
+        if active {
+            debug_assert!(!self.adj[u].iter().any(|c| c.to as usize == v));
+            self.adj[u].push(AdjCell {
+                to: v as u32,
+                on_pos: NOT_ON,
+            });
+            self.adj[v].push(AdjCell {
+                to: u as u32,
+                on_pos: NOT_ON,
+            });
+            self.active += 1;
+            NOT_ON
+        } else {
+            let pu = self.adj[u].iter().position(|c| c.to as usize == v);
+            let pv = self.adj[v].iter().position(|c| c.to as usize == u);
+            let (pu, pv) = (pu.expect("edge was active"), pv.expect("edge was active"));
+            let on_pos = self.adj[u][pu].on_pos;
+            self.adj[u].swap_remove(pu);
+            self.adj[v].swap_remove(pv);
+            self.active -= 1;
+            on_pos
+        }
+    }
+
+    /// Writes the on-list position into both adjacency cells of the
+    /// active edge `{u, v}` — O(deg).
+    fn set_edge_on_pos(&mut self, u: usize, v: usize, on_pos: u32) {
+        let cu = self.adj[u]
+            .iter_mut()
+            .find(|c| c.to as usize == v)
+            .expect("edge is active");
+        cu.on_pos = on_pos;
+        let cv = self.adj[v]
+            .iter_mut()
+            .find(|c| c.to as usize == u)
+            .expect("edge is active");
+        cv.on_pos = on_pos;
+    }
+
+    /// Bytes of heap memory held by the configuration (including the
+    /// per-row `Vec` headers, which at bounded degree are most of the
+    /// adjacency's footprint).
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        (self.idx.capacity() * 2
+            + self.pos.capacity() * 4
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * 4 + 24)
+                .sum::<usize>()
+            + self
+                .adj
+                .iter()
+                .map(|a| a.capacity() * 8 + 24)
+                .sum::<usize>()) as u64
+    }
+}
+
+/// The sparse state-bucketed event-driven engine (see the
+/// [module docs](self) for the exactness argument).
+///
+/// Mirrors the [`EventSim`](crate::EventSim) API — [`advance`] returns
+/// the same [`EventStep`], `run_until`/`run_until_edges`/`run_to` have
+/// the same semantics — except that stability predicates receive a
+/// [`SparsePop`] view instead of a dense
+/// [`Population`](crate::Population): no Θ(n²) structure is ever built.
+///
+/// [`advance`]: Self::advance
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::{BucketSim, Link, ProtocolBuilder};
+///
+/// let mut b = ProtocolBuilder::new("matching");
+/// let a = b.state("a");
+/// let m = b.state("b");
+/// b.rule((a, a, Link::Off), (m, m, Link::On));
+/// let protocol = b.build()?.compile();
+///
+/// let mut sim = BucketSim::new(protocol, 100_000, 1);
+/// let outcome = sim.run_until(|p| p.active_count() == 50_000, u64::MAX);
+/// assert!(outcome.stabilized());
+/// assert!(sim.approx_mem_bytes() < 32 << 20, "sparse engine stays small");
+/// # Ok::<(), netcon_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketSim<M: EnumerableMachine> {
+    machine: M,
+    sp: SparsePop,
+    rng: SmallRng,
+    book: Bookkeeping,
+    table: EffectTable,
+    /// Ordered state pairs `(s, t)` with `can_affect(s, t, Off)` — the
+    /// off buckets, fixed at construction.
+    off_pairs: Vec<(u16, u16)>,
+    /// Cumulative ordered-pair counts per off bucket (rebuilt lazily when
+    /// a state count changed).
+    cum: Vec<u64>,
+    off_total: u64,
+    dirty: bool,
+    /// Active edges whose state pair is effective on an active link only,
+    /// as unordered `(u, v)` entries; positions are mirrored in the
+    /// adjacency cells ([`AdjCell::on_pos`]).
+    on_list: Vec<(u32, u32)>,
+    /// Consecutive candidates that resolved ineffective — drives the
+    /// exact quiescence probe that keeps budget-bounded runs from
+    /// grinding through a dead configuration.
+    rejection_run: u64,
+    probe_at: u64,
+    interact: InteractFn<M>,
+    state_at: fn(&M, usize) -> M::State,
+}
+
+/// First rejection-run length at which [`BucketSim::advance`] pays for an
+/// exact quiescence scan (doubling after each inconclusive probe).
+const QUIESCENCE_PROBE: u64 = 128;
+
+impl<M: EnumerableMachine> BucketSim<M> {
+    /// Creates a sparse event-driven simulation of `machine` on `n` nodes
+    /// in the initial configuration, reproducible from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `n > 2³¹` (node ids are `u32` and ordered pair
+    /// counts must fit `u64`), the machine has more than 65536 states, or
+    /// the machine's `can_affect` is not symmetric in its node arguments
+    /// (a [`Machine`](crate::Machine) contract violation).
+    #[must_use]
+    pub fn new(machine: M, n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        assert!(n <= 1 << 31, "BucketSim packs node ids into u32");
+        let num_states = machine.num_states();
+        assert!(
+            num_states <= usize::from(u16::MAX) + 1,
+            "BucketSim's dense index is u16: more than 65536 states"
+        );
+        let initial = machine.state_index(&machine.initial_state());
+        let sp = SparsePop::new(n, num_states, initial);
+        Self::from_sparse(machine, sp, seed)
+    }
+
+    /// Creates a sparse simulation from an explicit dense configuration
+    /// (one scan of its active edges; the dense edge set is dropped).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    #[must_use]
+    pub fn from_population(machine: M, pop: Population<M::State>, seed: u64) -> Self {
+        let n = pop.n();
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        assert!(n <= 1 << 31, "BucketSim packs node ids into u32");
+        let num_states = machine.num_states();
+        assert!(
+            num_states <= usize::from(u16::MAX) + 1,
+            "BucketSim's dense index is u16: more than 65536 states"
+        );
+        let mut sp = SparsePop::new(n, num_states, machine.state_index(pop.state(0)));
+        for u in 0..n {
+            sp.set_state_index(u, machine.state_index(pop.state(u)));
+        }
+        for (u, v) in pop.edges().active_edges() {
+            sp.set_edge(u, v, true);
+        }
+        Self::from_sparse(machine, sp, seed)
+    }
+
+    fn from_sparse(machine: M, sp: SparsePop, seed: u64) -> Self {
+        let table = machine.effect_table();
+        assert!(
+            table.is_symmetric(),
+            "BucketSim requires can_affect to be symmetric in its node arguments"
+        );
+        let size = table.size();
+        let mut off_pairs = Vec::new();
+        for s in 0..size {
+            for t in 0..size {
+                if table.can_affect(s, t, Link::Off) {
+                    off_pairs.push((s as u16, t as u16));
+                }
+            }
+        }
+        let cum = vec![0; off_pairs.len()];
+        let mut sim = Self {
+            machine,
+            sp,
+            rng: SmallRng::seed_from_u64(seed),
+            book: Bookkeeping::default(),
+            table,
+            off_pairs,
+            cum,
+            off_total: 0,
+            dirty: true,
+            on_list: Vec::new(),
+            rejection_run: 0,
+            probe_at: QUIESCENCE_PROBE,
+            interact: |m: &M, a, b, link, rng: &mut SmallRng| m.interact_indexed(a, b, link, rng),
+            state_at: |m: &M, i: usize| m.state_at(i),
+        };
+        // Initial on-list: scan the active edges once.
+        for u in 0..sim.sp.n() {
+            sim.refresh_on_incident(u);
+        }
+        sim
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn view(&self) -> &SparsePop {
+        &self.sp
+    }
+
+    /// The machine being executed.
+    #[must_use]
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Steps taken so far (including skipped ineffective draws).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.book.steps
+    }
+
+    /// Effective interactions so far.
+    #[must_use]
+    pub fn effective_steps(&self) -> u64 {
+        self.book.effective_steps
+    }
+
+    /// Edge activations/deactivations so far.
+    #[must_use]
+    pub fn edge_events(&self) -> u64 {
+        self.book.edge_events
+    }
+
+    /// The step of the most recent edge change (0 if none yet).
+    #[must_use]
+    pub fn last_output_change(&self) -> u64 {
+        self.book.last_output_change
+    }
+
+    /// The step of the most recent effective interaction (0 if none yet).
+    #[must_use]
+    pub fn last_effective(&self) -> u64 {
+        self.book.last_effective
+    }
+
+    /// The current number of *ordered* candidate pairs `K = |E'|` — the
+    /// numerator of the geometric skip probability. An over-count of the
+    /// exactly-effective set (rejection absorbs the difference); when it
+    /// reaches 0 the configuration is certainly quiescent.
+    #[must_use]
+    pub fn candidate_weight(&mut self) -> u64 {
+        if self.dirty {
+            self.rebuild_weights();
+        }
+        self.off_total + 2 * self.on_list.len() as u64
+    }
+
+    /// Materializes the dense configuration — Θ(n²) bits for the edge
+    /// set; for inspection and small-n testing only.
+    #[must_use]
+    pub fn to_population(&self) -> Population<M::State> {
+        let states = (0..self.sp.n())
+            .map(|u| (self.state_at)(&self.machine, self.sp.state_index(u)))
+            .collect();
+        Population::from_parts(states, self.sp.to_edgeset())
+    }
+
+    /// Bytes of heap memory held by the engine: the sparse configuration,
+    /// buckets, cumulative weights, on list, and effect table — O(n + |Q|²),
+    /// against the dense engine's Θ(n²).
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        self.sp.approx_mem_bytes()
+            + (self.off_pairs.capacity() * 4
+                + self.cum.capacity() * 8
+                + self.on_list.capacity() * 8) as u64
+            + self.table.approx_mem_bytes()
+    }
+
+    /// Rebuilds the off-bucket cumulative weights from the bucket sizes —
+    /// O(|off buckets|) ≤ O(|Q|²), amortized against the state change
+    /// that dirtied them.
+    fn rebuild_weights(&mut self) {
+        let mut total = 0u64;
+        for (i, &(s, t)) in self.off_pairs.iter().enumerate() {
+            let cs = self.sp.buckets[usize::from(s)].len() as u64;
+            let w = if s == t {
+                cs * cs.saturating_sub(1)
+            } else {
+                cs * self.sp.buckets[usize::from(t)].len() as u64
+            };
+            total += w;
+            self.cum[i] = total;
+        }
+        self.off_total = total;
+        self.dirty = false;
+    }
+
+    /// Removes on-list entry `hole`, repairing the adjacency mirror of
+    /// the entry swapped into its place. The removed edge's own cells (if
+    /// it still exists) are the caller's to clear.
+    fn on_list_remove(&mut self, hole: usize) {
+        self.on_list.swap_remove(hole);
+        if let Some(&(a, b)) = self.on_list.get(hole) {
+            self.sp.set_edge_on_pos(a as usize, b as usize, hole as u32);
+        }
+    }
+
+    /// Refreshes the on-list membership of every active edge incident to
+    /// `u` — O(deg + deg of changed counterparts) after a node-state
+    /// change; membership state rides the adjacency cells, so unchanged
+    /// edges cost one table lookup each.
+    fn refresh_on_incident(&mut self, u: usize) {
+        let su = self.sp.state_index(u);
+        for i in 0..self.sp.adj[u].len() {
+            let AdjCell { to, on_pos } = self.sp.adj[u][i];
+            let w = to as usize;
+            let want = self.table.on_link_only(su, self.sp.state_index(w));
+            let member = on_pos != NOT_ON;
+            if want == member {
+                continue;
+            }
+            if want {
+                let at = self.on_list.len() as u32;
+                let (a, b) = if u < w { (u, w) } else { (w, u) };
+                self.on_list.push((a as u32, b as u32));
+                self.sp.set_edge_on_pos(u, w, at);
+            } else {
+                self.sp.set_edge_on_pos(u, w, NOT_ON);
+                self.on_list_remove(on_pos as usize);
+            }
+        }
+    }
+
+    /// Draws a candidate ordered pair uniformly from the `k2` ordered
+    /// candidates (`k2 = off_total + 2·on_len`, weights up to date).
+    fn draw_candidate(&mut self, k2: u64) -> (usize, usize) {
+        let r = self.rng.random_range(0..k2);
+        if r < self.off_total {
+            // Off bucket: cumulative-weight search, then one uniform
+            // member per side (distinct indices when the sides share a
+            // bucket).
+            let b = self.cum.partition_point(|&c| c <= r);
+            let (s, t) = self.off_pairs[b];
+            let bs = &self.sp.buckets[usize::from(s)];
+            if s == t {
+                let c = bs.len();
+                let i = self.rng.random_range(0..c);
+                let mut j = self.rng.random_range(0..c - 1);
+                if j >= i {
+                    j += 1;
+                }
+                (bs[i] as usize, bs[j] as usize)
+            } else {
+                let u = bs[self.rng.random_range(0..bs.len())];
+                let bt = &self.sp.buckets[usize::from(t)];
+                let v = bt[self.rng.random_range(0..bt.len())];
+                (u as usize, v as usize)
+            }
+        } else {
+            let e = r - self.off_total;
+            let (a, b) = self.on_list[(e / 2) as usize];
+            if e % 2 == 1 {
+                (b as usize, a as usize)
+            } else {
+                (a as usize, b as usize)
+            }
+        }
+    }
+
+    /// Skips the geometric number of certainly-ineffective draws and
+    /// simulates the next candidate interaction, without letting the step
+    /// counter pass `max_steps` — same contract as
+    /// [`EventSim::advance`](crate::EventSim::advance).
+    ///
+    /// `Quiescent` is returned when the candidate set is empty, or when a
+    /// long run of rejected candidates triggers the exact quiescence scan
+    /// and it certifies that no pair can ever change again (rejections
+    /// change nothing, so a quiescent configuration stays quiescent).
+    pub fn advance(&mut self, max_steps: u64) -> EventStep {
+        if self.dirty {
+            self.rebuild_weights();
+        }
+        let k2 = self.off_total + 2 * self.on_list.len() as u64;
+        if k2 == 0 || (self.rejection_run >= self.probe_at && self.probe_quiescence()) {
+            return EventStep::Quiescent;
+        }
+        let n = self.sp.n() as u64;
+        let m2 = n * (n - 1);
+        let remaining = max_steps.saturating_sub(self.book.steps);
+        if remaining == 0 {
+            return EventStep::BudgetExhausted;
+        }
+        let skipped = if k2 == m2 {
+            0
+        } else {
+            let p = k2 as f64 / m2 as f64;
+            let g = geometric_skip(unit_open01(self.rng.next_u64()), p);
+            // Candidate would land past the budget: the whole remaining
+            // window is ineffective (P(skips ≥ r) is exactly the naive
+            // probability of r misses in a row).
+            if g >= remaining as f64 {
+                self.book.steps = max_steps;
+                return EventStep::BudgetExhausted;
+            }
+            g as u64
+        };
+        self.book.steps += skipped + 1;
+
+        let (u, v) = self.draw_candidate(k2);
+        let pair = (u, v);
+        let link = Link::from(self.sp.is_active(u, v));
+        let (su, sv) = (self.sp.state_index(u), self.sp.state_index(v));
+        // Accept/reject on the actual edge state: a rejected candidate is
+        // one real (ineffective) step, exactly as the naive engine would
+        // record the same draw.
+        if !self.table.can_affect(su, sv, link) {
+            self.rejection_run += 1;
+            return EventStep::Candidate {
+                skipped,
+                result: StepResult::Ineffective { pair },
+            };
+        }
+        let outcome = (self.interact)(&self.machine, su, sv, link, &mut self.rng);
+        let Some((a2, b2, l2)) = outcome else {
+            // A randomized rule sampled the identity.
+            self.rejection_run += 1;
+            return EventStep::Candidate {
+                skipped,
+                result: StepResult::Ineffective { pair },
+            };
+        };
+        self.rejection_run = 0;
+        self.probe_at = QUIESCENCE_PROBE;
+        let edge_changed = l2 != link;
+        if edge_changed {
+            let on_pos = self.sp.set_edge(u, v, l2.is_on());
+            if on_pos != NOT_ON {
+                // A deactivated on-list edge leaves the list; its
+                // adjacency cells are already gone.
+                self.on_list_remove(on_pos as usize);
+            }
+        }
+        if self.sp.set_state_index(u, a2) | self.sp.set_state_index(v, b2) {
+            self.dirty = true;
+        }
+        self.refresh_on_incident(u);
+        self.refresh_on_incident(v);
+        self.book.record_effective(edge_changed);
+        EventStep::Candidate {
+            skipped,
+            result: StepResult::Effective { pair, edge_changed },
+        }
+    }
+
+    /// Exact quiescence scan, run when a long rejection streak suggests
+    /// the candidate set may contain no actually-effective pair: since
+    /// rejected candidates change nothing, a quiescent configuration can
+    /// never leave quiescence, so certifying it once is sound forever.
+    ///
+    /// O(Σ bucket × degree) worst case; the doubling `probe_at` schedule
+    /// keeps its amortized cost below the rejections that trigger it.
+    fn probe_quiescence(&mut self) -> bool {
+        if self.is_quiescent_scan() {
+            true
+        } else {
+            self.probe_at = self.probe_at.saturating_mul(2);
+            false
+        }
+    }
+
+    fn is_quiescent_scan(&self) -> bool {
+        if !self.on_list.is_empty() {
+            return false;
+        }
+        for &(s, t) in &self.off_pairs {
+            let (s, t) = (usize::from(s), usize::from(t));
+            let cs = self.sp.buckets[s].len() as u64;
+            let w = if s == t {
+                cs * cs.saturating_sub(1)
+            } else {
+                cs * self.sp.buckets[t].len() as u64
+            };
+            if w == 0 {
+                continue;
+            }
+            // Ordered (s, t) candidates that sit on an active edge.
+            let ordered_active: u64 = self.sp.buckets[s]
+                .iter()
+                .map(|&u| {
+                    self.sp.adj[u as usize]
+                        .iter()
+                        .filter(|c| usize::from(self.sp.idx[c.to as usize]) == t)
+                        .count() as u64
+                })
+                .sum();
+            if w > ordered_active {
+                // Some (s, t) pair has an inactive edge, and the bucket
+                // exists because can_affect(s, t, Off) holds.
+                return false;
+            }
+            if ordered_active > 0 && self.table.can_affect(s, t, Link::On) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether no pair of nodes has any effective interaction. O(1) when
+    /// the candidate set is empty; otherwise an exact scan over the
+    /// candidate buckets (the set over-approximates, so emptiness is
+    /// sufficient but not necessary).
+    #[must_use]
+    pub fn is_quiescent(&mut self) -> bool {
+        if self.dirty {
+            self.rebuild_weights();
+        }
+        self.off_total + 2 * self.on_list.len() as u64 == 0 || self.is_quiescent_scan()
+    }
+
+    /// Runs until `stable` holds or `max_steps` total steps have elapsed —
+    /// same predicate-evaluation points (initially and after every
+    /// effective interaction) and outcome distribution as
+    /// [`EventSim::run_until`](crate::EventSim::run_until), with the
+    /// predicate reading the sparse view.
+    pub fn run_until(
+        &mut self,
+        mut stable: impl FnMut(&SparsePop) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.sp) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    self.book.steps = self.book.steps.max(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate { result, .. } => {
+                    if result.is_effective() && stable(&self.sp) {
+                        return self.book.stabilized_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`run_until`](Self::run_until) but only re-evaluates the
+    /// predicate when an edge changes. Correct (and faster) for
+    /// predicates that depend only on the output graph.
+    pub fn run_until_edges(
+        &mut self,
+        mut stable: impl FnMut(&SparsePop) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.sp) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    self.book.steps = self.book.steps.max(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate {
+                    result:
+                        StepResult::Effective {
+                            edge_changed: true, ..
+                        },
+                    ..
+                } => {
+                    if stable(&self.sp) {
+                        return self.book.stabilized_now();
+                    }
+                }
+                EventStep::Candidate { .. } => {}
+            }
+        }
+    }
+
+    /// Advances until the step counter reaches exactly `target` —
+    /// geometric memorylessness makes stopping and resuming mid-skip
+    /// exact (see [`EventSim::run_to`](crate::EventSim::run_to)).
+    pub fn run_to(&mut self, target: u64) {
+        while self.book.steps < target {
+            match self.advance(target) {
+                EventStep::Quiescent => {
+                    self.book.steps = target;
+                    return;
+                }
+                EventStep::BudgetExhausted => return,
+                EventStep::Candidate { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompiledTable, EventSim, ProtocolBuilder, RuleProtocol};
+
+    const OFF: Link = Link::Off;
+    const ON: Link = Link::On;
+
+    fn matching_protocol() -> CompiledTable {
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, OFF), (m, m, ON));
+        b.build().expect("valid").compile()
+    }
+
+    /// A protocol whose only rule needs an *active* edge, so its
+    /// candidates ride the on list exclusively. State index 1 carries the
+    /// rule, matching the matched state of [`matching_protocol`] so a
+    /// matched configuration imports directly.
+    fn on_only_protocol() -> RuleProtocol {
+        let mut b = ProtocolBuilder::new("dissolve");
+        let _done = b.state("done");
+        let a = b.state("a");
+        b.rule((a, a, ON), (_done, _done, OFF));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn matching_converges_and_quiesces() {
+        let mut sim = BucketSim::new(matching_protocol(), 20, 123);
+        let outcome = sim.run_until_edges(|p| p.active_count() == 10, 200_000);
+        assert!(outcome.stabilized(), "matching should form: {outcome:?}");
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.effective_steps(), 10);
+        assert_eq!(sim.candidate_weight(), 0);
+        let pop = sim.to_population();
+        assert!(netcon_graph::properties::is_maximum_matching(pop.edges()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = BucketSim::new(matching_protocol(), 16, seed);
+            let out = sim.run_until_edges(|p| p.active_count() == 8, 100_000);
+            (out, sim.steps(), sim.edge_events())
+        };
+        assert_eq!(run(9), run(9));
+        assert!(run(9).0.stabilized());
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let mut sim = BucketSim::new(matching_protocol(), 50, 3);
+        let out = sim.run_until(|_| false, 1_000);
+        assert_eq!(out, RunOutcome::MaxSteps { steps: 1_000 });
+        assert_eq!(sim.steps(), 1_000);
+    }
+
+    #[test]
+    fn run_to_lands_exactly_and_quiescence_jumps() {
+        let mut sim = BucketSim::new(matching_protocol(), 10, 5);
+        sim.run_to(123);
+        assert_eq!(sim.steps(), 123);
+        sim.run_until_edges(|p| p.active_count() == 5, u64::MAX);
+        let done = sim.steps();
+        sim.run_to(done + 1_000_000);
+        assert_eq!(sim.steps(), done + 1_000_000);
+        assert_eq!(sim.effective_steps(), 5);
+    }
+
+    #[test]
+    fn on_link_rules_ride_the_on_list() {
+        // Start from a full matching built by a different machine, then
+        // dissolve it with the on-link-only protocol: every candidate must
+        // come from the on list (off_total is 0 throughout).
+        let mut setup = BucketSim::new(matching_protocol(), 12, 7);
+        setup.run_until_edges(|p| p.active_count() == 6, u64::MAX);
+        let pop = setup.to_population();
+        let mut sim = BucketSim::from_population(on_only_protocol().compile(), pop, 5);
+        assert_eq!(sim.candidate_weight(), 12, "6 active edges, ordered ×2");
+        let out = sim.run_until_edges(|p| p.active_count() == 0, u64::MAX);
+        assert!(out.stabilized());
+        assert_eq!(sim.edge_events(), 6, "each matched edge dissolved once");
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn quiescent_unstable_returns_budget_immediately() {
+        let mut b = ProtocolBuilder::new("inert");
+        let _ = b.state("a");
+        let p = b.build().expect("valid");
+        let mut sim = BucketSim::new(p.compile(), 8, 0);
+        let out = sim.run_until(|_| false, u64::MAX);
+        assert_eq!(out, RunOutcome::MaxSteps { steps: u64::MAX });
+    }
+
+    #[test]
+    fn rejection_livelock_is_escaped_by_the_quiescence_probe() {
+        // Two adjacent nodes in state a with rule (a, a, 0): the pair is
+        // a permanent candidate (off bucket) but its edge is active, so
+        // every candidate rejects. The probe must detect quiescence and
+        // jump to the budget instead of grinding through 10^12 steps.
+        let mut b = ProtocolBuilder::new("stuck");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, OFF), (m, m, ON));
+        let p = b.build().expect("valid").compile();
+        let mut pop = Population::new(4, crate::StateId::new(0));
+        // a–a active edge (unreachable for the matching protocol, but a
+        // legal configuration) plus two matched m nodes.
+        pop.edges_mut().activate(0, 1);
+        pop.set_state(2, crate::StateId::new(1));
+        pop.set_state(3, crate::StateId::new(1));
+        pop.edges_mut().activate(2, 3);
+        let mut sim = BucketSim::from_population(p, pop, 3);
+        assert!(sim.candidate_weight() > 0, "the dead pair stays a candidate");
+        let t0 = std::time::Instant::now();
+        let out = sim.run_until(|_| false, 1_000_000_000_000);
+        assert_eq!(
+            out,
+            RunOutcome::MaxSteps {
+                steps: 1_000_000_000_000
+            }
+        );
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "probe failed to shortcut the dead configuration"
+        );
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn tracks_dense_event_engine_on_average() {
+        // Cheap smoke check of the exactness argument (the full paired
+        // statistical tests live in the workspace-level suite).
+        let trials = 60;
+        let mean = |bucket: bool| -> f64 {
+            (0..trials)
+                .map(|seed| {
+                    let out = if bucket {
+                        BucketSim::new(matching_protocol(), 12, 1000 + seed)
+                            .run_until_edges(|p| p.active_count() == 6, u64::MAX)
+                    } else {
+                        EventSim::new(matching_protocol(), 12, 2000 + seed).run_until_edges(
+                            |p| p.edges().active_count() == 6,
+                            u64::MAX,
+                        )
+                    };
+                    out.converged_at().expect("stabilizes") as f64
+                })
+                .sum::<f64>()
+                / f64::from(trials as u32)
+        };
+        let (bu, ev) = (mean(true), mean(false));
+        assert!(
+            (bu - ev).abs() / ev < 0.35,
+            "bucket {bu:.1} vs event {ev:.1} means too far apart"
+        );
+    }
+
+    #[test]
+    fn from_population_round_trips() {
+        let mut sim = BucketSim::new(matching_protocol(), 14, 4);
+        sim.run_until_edges(|p| p.active_count() == 7, u64::MAX);
+        let pop = sim.to_population();
+        let again = BucketSim::from_population(matching_protocol(), pop.clone(), 9);
+        assert_eq!(again.to_population(), pop);
+    }
+
+    #[test]
+    fn sparse_pop_accessors_are_consistent() {
+        let mut sim = BucketSim::new(matching_protocol(), 10, 2);
+        sim.run_until_edges(|p| p.active_count() == 5, u64::MAX);
+        let sp = sim.view();
+        assert_eq!(sp.n(), 10);
+        assert_eq!(sp.count_index(0), 0, "all nodes matched");
+        assert_eq!(sp.count_index(1), 10);
+        assert_eq!(sp.nodes_index(1).len(), 10);
+        for u in 0..10 {
+            assert_eq!(sp.degree(u), 1);
+            let v = sp.neighbors(u).next().expect("matched");
+            assert!(sp.is_active(u, v));
+            assert_eq!(sp.state_index(u), 1);
+        }
+        let es = sp.to_edgeset();
+        assert_eq!(es.active_count(), 5);
+        assert!(sp.approx_mem_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let _ = BucketSim::new(matching_protocol(), 1, 0);
+    }
+}

@@ -176,6 +176,39 @@ impl EffectTable {
         let i = slot(self.size, a, b, link);
         self.affect_edge[i / 64] >> (i % 64) & 1 == 1
     }
+
+    /// Whether the pair could be affected over an **active** edge but not
+    /// over an inactive one. Such pairs enter the bucket engine's
+    /// candidate set only through the explicit active-edge list (the
+    /// state buckets would over-count them by the whole off-link bulk).
+    #[inline]
+    #[must_use]
+    pub fn on_link_only(&self, a: usize, b: usize) -> bool {
+        self.can_affect(a, b, Link::On) && !self.can_affect(a, b, Link::Off)
+    }
+
+    /// Whether `can_affect` is symmetric in its node arguments over the
+    /// whole domain. True for every machine honouring the
+    /// [`Machine`](crate::Machine) symmetry contract; the bucket engine
+    /// asserts it once at construction because its unordered active-edge
+    /// list canonicalizes pair order.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.size).all(|a| {
+            (a..self.size).all(|b| {
+                [Link::Off, Link::On]
+                    .iter()
+                    .all(|&l| self.can_affect(a, b, l) == self.can_affect(b, a, l))
+            })
+        })
+    }
+
+    /// Bytes of heap memory held by the table.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        ((self.affect.capacity() + self.affect_edge.capacity() + self.affect_rows.capacity()) * 8)
+            as u64
+    }
 }
 
 /// The flat slot index of `(a, b, link)`.

@@ -15,6 +15,40 @@ use crate::compiled::EffectTable;
 use crate::sim::RunOutcome;
 use crate::{Link, Machine, Population};
 
+/// Maps a raw 64-bit draw to a uniform value on the half-open unit
+/// interval `(0, 1]` with 53-bit resolution — the draw both event engines
+/// feed into [`geometric_skip`].
+///
+/// The `+ 1` excludes 0 (whose logarithm is −∞) and includes 1 (zero
+/// skips), mirroring the inversion convention of the original `EventSim`
+/// sampler bit for bit.
+#[inline]
+#[must_use]
+pub fn unit_open01(raw: u64) -> f64 {
+    ((raw >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Inversion of the geometric law shared by [`EventSim`](crate::EventSim)
+/// and [`BucketSim`](crate::BucketSim): the number of consecutive
+/// scheduler draws that miss a candidate set hit with probability `p`,
+/// derived from one uniform `u ∈ (0, 1]` as `⌊ln u / ln(1−p)⌋`.
+///
+/// `P(skips ≥ t) = (1−p)^t` exactly (up to f64 rounding), so feeding both
+/// engines the same *skip schedule* (the same stream of `u`s) makes their
+/// skip counts directly comparable: the engine with the larger candidate
+/// set (larger `p`) never skips more — the monotonicity the coin-level
+/// proptests pin.
+///
+/// Returns an `f64` so callers can compare against a remaining-budget
+/// window before truncating (the value can exceed `u64::MAX` when `p` is
+/// tiny and `u` is close to 0).
+#[inline]
+#[must_use]
+pub fn geometric_skip(u01: f64, p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    (u01.ln() / (-p).ln_1p()).floor()
+}
+
 /// The output graph of a configuration: active edges restricted to nodes
 /// in output states (`G(C)` in §3.1). Shared by both engines'
 /// `output_graph` methods.
@@ -185,6 +219,33 @@ impl PairSet {
             .iter()
             .map(|&p| ((p >> 16) as usize, (p & 0xFFFF) as usize))
     }
+
+    /// Bytes of heap memory held by this set (position matrix, membership
+    /// bitset, member vector) — the Θ(n²) bulk of the dense event engine.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        (self.pos.capacity() * 4 + self.rows.capacity() * 8 + self.members.capacity() * 4) as u64
+    }
+}
+
+/// Applies a desired-membership bitset row for node `u` to `pairs`: only
+/// the XOR diff against the current row touches the set, in increasing-`v`
+/// order — the word-parallel tail shared by [`EffectIndex::rescan`] and
+/// the scanning-mode registry in [`event`](crate::event).
+///
+/// The increasing-`v` application order is part of the engines'
+/// reproducibility contract: it determines the member order inside
+/// `pairs`, which the samplers index by position.
+pub(crate) fn apply_desired_row(pairs: &mut PairSet, u: usize, desired: &[u64]) {
+    for (k, &want) in desired.iter().enumerate() {
+        let mut changed = want ^ pairs.row_bits(u)[k];
+        while changed != 0 {
+            let b = changed.trailing_zeros() as usize;
+            changed &= changed - 1;
+            let w = k * 64 + b;
+            pairs.set(u, w, want >> b & 1 == 1);
+        }
+    }
 }
 
 /// Dense-index view of a machine's effectiveness relation plus the current
@@ -258,6 +319,14 @@ impl<M: Machine> EffectIndex<M> {
         &self.table
     }
 
+    /// Bytes of heap memory held by the index (state indices, per-state
+    /// node bitsets, scratch row, effect table).
+    pub fn approx_mem_bytes(&self) -> u64 {
+        (self.idx.capacity() * 2 + (self.state_nodes.capacity() + self.scratch.capacity()) * 8)
+            as u64
+            + self.table.approx_mem_bytes()
+    }
+
     /// Updates the index after an effective interaction between `u` and
     /// `v`: re-derives both state indices and rescans the two incident
     /// pair rows (O(n), word-parallel for small machines).
@@ -323,16 +392,7 @@ impl<M: Machine> EffectIndex<M> {
             }
             self.scratch[u / 64] &= !(1u64 << (u % 64));
             // Apply exactly the diff.
-            for k in 0..wpr {
-                let desired = self.scratch[k];
-                let mut changed = desired ^ pairs.row_bits(u)[k];
-                while changed != 0 {
-                    let b = changed.trailing_zeros() as usize;
-                    changed &= changed - 1;
-                    let w = k * 64 + b;
-                    pairs.set(u, w, desired >> b & 1 == 1);
-                }
-            }
+            apply_desired_row(pairs, u, &self.scratch);
         } else {
             for (w, active) in pop.edges().row(u) {
                 pairs.set(
@@ -343,6 +403,240 @@ impl<M: Machine> EffectIndex<M> {
                 );
             }
         }
+    }
+}
+
+/// Capacity of the scanning-mode observed-state registry: affect masks
+/// are single `u64` rows, so at most 64 distinct states can be live at
+/// once before [`ScanIndex`] falls back to plain scanning.
+const MAX_SCAN_SLOTS: usize = 64;
+
+/// Populations below this size skip the registry entirely: maintaining
+/// it costs up to `4 · MAX_SCAN_SLOTS` `can_affect` queries per *novel*
+/// state, which only beats the plain `2n`-query rescan once `n` is
+/// comfortably past the registry size.
+const SCAN_INDEX_MIN_N: usize = 256;
+
+/// Dynamic observed-state index for machines *without* dense state ids —
+/// the scanning-mode counterpart of [`EffectIndex`].
+///
+/// `EventSim::new_scanning` used to re-query `can_affect` against all
+/// `n − 1` partners of a touched node after every effective interaction,
+/// even when the machine rules almost every state pair out. This index
+/// discovers the distinct states actually present at runtime (linear
+/// `PartialEq` dedup over ≤ [`MAX_SCAN_SLOTS`] live slots, refcounted so
+/// departed states free their slot), memoizes the pairwise `can_affect`
+/// bits between live slots, and keeps the same per-state node bitsets as
+/// `EffectIndex` — so the rescan becomes the identical word-parallel
+/// desired-row diff ([`apply_desired_row`]), pruning every ruled-out
+/// state in one OR per 64 nodes instead of 64 machine queries.
+///
+/// Machines whose live state diversity exceeds the registry (or tiny
+/// populations where the registry cannot pay for itself) overflow into
+/// the original plain scan, permanently and exactly: membership is the
+/// same `can_affect` truth either way, applied in the same increasing-
+/// neighbour order, so executions are bit-identical across the modes.
+#[derive(Debug, Clone)]
+pub(crate) struct ScanIndex<M: Machine> {
+    /// Live registered states (`None` = free slot).
+    slots: Vec<Option<M::State>>,
+    /// Nodes currently in each slot's state.
+    refcount: Vec<u32>,
+    /// Slot of every node.
+    node_slot: Vec<u32>,
+    /// One node bitset per slot, `row_words` words each.
+    state_nodes: Vec<u64>,
+    scratch: Vec<u64>,
+    /// Memoized `can_affect(slot s, slot t, link)` bits: bit `t` of
+    /// `affect_off[s]` / `affect_on[s]`.
+    affect_off: Vec<u64>,
+    affect_on: Vec<u64>,
+    row_words: usize,
+    /// Set when the registry gave up; the engine plain-scans from then on.
+    overflow: bool,
+}
+
+impl<M: Machine> ScanIndex<M> {
+    /// Builds the registry from the initial configuration. Returns an
+    /// overflowed (inert) index when the population is too small to pay
+    /// for it or the distinct-state count exceeds the registry.
+    pub fn build(machine: &M, pop: &Population<M::State>) -> Self {
+        let n = pop.n();
+        let row_words = n.div_ceil(64);
+        let mut sx = Self {
+            slots: Vec::new(),
+            refcount: Vec::new(),
+            node_slot: vec![0; n],
+            state_nodes: Vec::new(),
+            scratch: vec![0; row_words],
+            affect_off: Vec::new(),
+            affect_on: Vec::new(),
+            row_words,
+            overflow: n < SCAN_INDEX_MIN_N,
+        };
+        if sx.overflow {
+            return sx;
+        }
+        for u in 0..n {
+            let Some(k) = sx.find_or_register(machine, pop.state(u)) else {
+                sx.overflow = true;
+                return sx;
+            };
+            sx.refcount[k] += 1;
+            sx.node_slot[u] = k as u32;
+            sx.state_nodes[k * row_words + u / 64] |= 1u64 << (u % 64);
+        }
+        sx
+    }
+
+    /// Bytes of heap memory held by the registry (state payloads of the
+    /// registered states excluded).
+    pub fn approx_mem_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<Option<M::State>>()
+            + self.refcount.capacity() * 4
+            + self.node_slot.capacity() * 4
+            + (self.state_nodes.capacity()
+                + self.scratch.capacity()
+                + self.affect_off.capacity()
+                + self.affect_on.capacity())
+                * 8) as u64
+    }
+
+    /// Finds the slot holding `state`, registering it in a free slot (and
+    /// memoizing its `can_affect` bits against every live slot) if novel.
+    /// `None` when the registry is full.
+    fn find_or_register(&mut self, machine: &M, state: &M::State) -> Option<usize> {
+        if let Some(k) = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref() == Some(state))
+        {
+            return Some(k);
+        }
+        let k = match self.slots.iter().position(Option::is_none) {
+            Some(free) => free,
+            None if self.slots.len() < MAX_SCAN_SLOTS => {
+                self.slots.push(None);
+                self.refcount.push(0);
+                self.affect_off.push(0);
+                self.affect_on.push(0);
+                self.state_nodes
+                    .resize(self.state_nodes.len() + self.row_words, 0);
+                self.slots.len() - 1
+            }
+            None => return None,
+        };
+        debug_assert!(self.state_nodes[k * self.row_words..(k + 1) * self.row_words]
+            .iter()
+            .all(|&w| w == 0));
+        // Memoize both directions against every live slot (the rescan of
+        // a node in slot s reads row s with s as the first argument, so
+        // symmetry of the machine is not assumed). The self-pair is
+        // covered once `slots[k]` is set.
+        self.slots[k] = Some(state.clone());
+        self.affect_off[k] = 0;
+        self.affect_on[k] = 0;
+        for t in 0..self.slots.len() {
+            let (tb, kb) = (1u64 << t, 1u64 << k);
+            // Bits aimed at free slots stay stale — harmless, since free
+            // slots have empty node bitsets until re-registration rewrites
+            // them right here.
+            let Some(other) = &self.slots[t] else { continue };
+            let me = self.slots[k].as_ref().expect("just set");
+            if machine.can_affect(me, other, Link::Off) {
+                self.affect_off[k] |= tb;
+            }
+            if machine.can_affect(me, other, Link::On) {
+                self.affect_on[k] |= tb;
+            }
+            if t != k {
+                self.affect_off[t] &= !kb;
+                self.affect_on[t] &= !kb;
+                if machine.can_affect(other, me, Link::Off) {
+                    self.affect_off[t] |= kb;
+                }
+                if machine.can_affect(other, me, Link::On) {
+                    self.affect_on[t] |= kb;
+                }
+            }
+        }
+        Some(k)
+    }
+
+    /// Re-derives the slot of node `u` after its state may have changed.
+    /// Returns `false` when the registry overflowed.
+    fn reassign(&mut self, machine: &M, pop: &Population<M::State>, u: usize) -> bool {
+        let old = self.node_slot[u] as usize;
+        if self.slots[old].as_ref() == Some(pop.state(u)) {
+            return true;
+        }
+        // Leave the old slot first so a refcount-0 slot is reusable for
+        // the new state.
+        let (word, bit) = (u / 64, 1u64 << (u % 64));
+        self.state_nodes[old * self.row_words + word] &= !bit;
+        self.refcount[old] -= 1;
+        if self.refcount[old] == 0 {
+            self.slots[old] = None;
+        }
+        let Some(k) = self.find_or_register(machine, pop.state(u)) else {
+            return false;
+        };
+        self.refcount[k] += 1;
+        self.node_slot[u] = k as u32;
+        self.state_nodes[k * self.row_words + word] |= bit;
+        true
+    }
+
+    /// Updates the index after an effective interaction and rescans the
+    /// two incident pair rows word-parallel. Returns `false` when the
+    /// registry is overflowed — the caller must fall back to plain
+    /// rescans for this (and every later) interaction.
+    pub fn on_interaction(
+        &mut self,
+        machine: &M,
+        pop: &Population<M::State>,
+        pairs: &mut PairSet,
+        u: usize,
+        v: usize,
+    ) -> bool {
+        if self.overflow {
+            return false;
+        }
+        if !self.reassign(machine, pop, u) || !self.reassign(machine, pop, v) {
+            self.overflow = true;
+            return false;
+        }
+        self.rescan(pop, pairs, u);
+        self.rescan(pop, pairs, v);
+        true
+    }
+
+    /// The word-parallel desired-membership rescan of node `u` — the same
+    /// algorithm as [`EffectIndex::rescan`], over the observed-state
+    /// registry.
+    fn rescan(&mut self, pop: &Population<M::State>, pairs: &mut PairSet, u: usize) {
+        let su = self.node_slot[u] as usize;
+        let wpr = self.row_words;
+        self.scratch.fill(0);
+        let mut mask = self.affect_off[su];
+        while mask != 0 {
+            let t = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let row = &self.state_nodes[t * wpr..(t + 1) * wpr];
+            for (d, &w) in self.scratch.iter_mut().zip(row) {
+                *d |= w;
+            }
+        }
+        for w in pop.edges().neighbors(u) {
+            let on = self.affect_on[su] >> self.node_slot[w] & 1 == 1;
+            if on {
+                self.scratch[w / 64] |= 1u64 << (w % 64);
+            } else {
+                self.scratch[w / 64] &= !(1u64 << (w % 64));
+            }
+        }
+        self.scratch[u / 64] &= !(1u64 << (u % 64));
+        apply_desired_row(pairs, u, &self.scratch);
     }
 }
 

@@ -45,14 +45,18 @@
 //! Memory: the pair-position map is a full `n × n` matrix (4n² bytes —
 //! its contiguous rows are what the maintenance loop streams over), plus
 //! membership/adjacency bitsets (~n²/4 bytes) and 4 bytes per member
-//! pair: ~150 MB at `n = 6_000`, ~400 MB at `n = 10_000`. The ROADMAP
-//! notes a state-bucketed sampler as the sub-quadratic next step.
+//! pair: ~150 MB at `n = 6_000`, ~400 MB at `n = 10_000`
+//! ([`approx_mem_bytes`](EventSim::approx_mem_bytes) measures the live
+//! figure). Past the tens of thousands of nodes, the state-bucketed
+//! [`BucketSim`](crate::BucketSim) runs the same distribution in
+//! O(n + |Q|²) memory; [`Engine::auto`](crate::Engine::auto) picks
+//! between the two by a memory budget.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 
 use crate::compiled::EnumerableMachine;
-use crate::engine::{Bookkeeping, EffectIndex, PairSet};
+use crate::engine::{geometric_skip, unit_open01, Bookkeeping, EffectIndex, PairSet, ScanIndex};
 use crate::sim::{RunOutcome, StepResult};
 use crate::{Link, Machine, Population};
 
@@ -63,8 +67,10 @@ type InteractFn<M> = fn(&M, usize, usize, Link, &mut SmallRng) -> Option<(usize,
 /// How the engine decides pair effectiveness.
 #[derive(Debug, Clone)]
 enum Effects<M: Machine> {
-    /// Query `Machine::can_affect` with the live states (any machine).
-    Scan,
+    /// Query `Machine::can_affect` with the live states (any machine),
+    /// pruned through the dynamic observed-state registry where it pays
+    /// off (see [`ScanIndex`]).
+    Scan(ScanIndex<M>),
     /// Dense index table plus monomorphic interaction (enumerable
     /// machines). The function pointers are captured where the
     /// `EnumerableMachine` bound is known.
@@ -216,13 +222,14 @@ impl<M: Machine> EventSim<M> {
                 }
             }
         }
+        let scan = ScanIndex::build(&machine, &pop);
         Self {
             machine,
             pop,
             rng: SmallRng::seed_from_u64(seed),
             book: Bookkeeping::default(),
             pairs,
-            effects: Effects::Scan,
+            effects: Effects::Scan(scan),
         }
     }
 
@@ -274,6 +281,35 @@ impl<M: Machine> EventSim<M> {
         self.pairs.len()
     }
 
+    /// Bytes of heap memory held by the engine: the pair set (its Θ(n²)
+    /// position matrix and membership bitsets), the dense edge set, the
+    /// node states, and the effectiveness index. Heap payloads *inside*
+    /// composite states are not counted.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        let states = (self.pop.n() * std::mem::size_of::<M::State>()) as u64;
+        self.pairs.approx_mem_bytes()
+            + self.pop.edges().approx_mem_bytes()
+            + states
+            + match &self.effects {
+                Effects::Scan(sx) => sx.approx_mem_bytes(),
+                Effects::Indexed { index, .. } => index.approx_mem_bytes(),
+            }
+    }
+
+    /// A priori estimate of [`approx_mem_bytes`](Self::approx_mem_bytes)
+    /// for a fresh indexed engine on `n` nodes — what
+    /// [`Engine::auto`](crate::Engine::auto) weighs against its memory
+    /// budget *before* allocating anything. Dominated by the pair-position
+    /// matrix (`4n²`), the pair membership bitsets (`n²/8`), and the edge
+    /// set (`3n²/16`); the member vector is excluded (it grows with the
+    /// live effective set).
+    #[must_use]
+    pub fn dense_mem_estimate(n: usize) -> u64 {
+        let n = n as u64;
+        4 * n * n + n * n / 8 + 3 * n * n / 16 + 16 * n
+    }
+
     /// Skips the geometric number of ineffective draws and simulates the
     /// next candidate interaction, without letting the step counter pass
     /// `max_steps`.
@@ -293,8 +329,7 @@ impl<M: Machine> EventSim<M> {
         } else {
             // Inversion of the geometric law: P(skips ≥ t) = (1−p)^t.
             let p = k as f64 / m as f64;
-            let u = ((self.rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
-            let g = (u.ln() / (-p).ln_1p()).floor();
+            let g = geometric_skip(unit_open01(self.rng.next_u64()), p);
             // The candidate lands at steps + skips + 1: past the budget
             // means the whole remaining window is ineffective (this is
             // exact — P(skips ≥ r) equals the naive engine's probability
@@ -318,7 +353,7 @@ impl<M: Machine> EventSim<M> {
         let link = Link::from(self.pop.edges().is_active(u_n, v_n));
 
         let outcome = match &self.effects {
-            Effects::Scan => {
+            Effects::Scan(_) => {
                 self.machine
                     .interact(self.pop.state(u_n), self.pop.state(v_n), link, &mut self.rng)
             }
@@ -357,9 +392,13 @@ impl<M: Machine> EventSim<M> {
         self.pop.set_state(v_n, b2);
         self.book.record_effective(edge_changed);
         match &mut self.effects {
-            Effects::Scan => {
-                Self::rescan(&self.machine, &self.pop, &mut self.pairs, u_n);
-                Self::rescan(&self.machine, &self.pop, &mut self.pairs, v_n);
+            Effects::Scan(sx) => {
+                if !sx.on_interaction(&self.machine, &self.pop, &mut self.pairs, u_n, v_n) {
+                    // Registry overflowed (or never applied): plain
+                    // machine-query rescans, identical membership.
+                    Self::rescan(&self.machine, &self.pop, &mut self.pairs, u_n);
+                    Self::rescan(&self.machine, &self.pop, &mut self.pairs, v_n);
+                }
             }
             Effects::Indexed { index, .. } => {
                 index.on_interaction(&self.machine, &self.pop, &mut self.pairs, u_n, v_n);
@@ -499,7 +538,7 @@ impl<M: Machine> EventSim<M> {
         self.pairs.iter().all(|(u, v)| {
             let link = Link::from(self.pop.edges().is_active(u, v));
             match &self.effects {
-                Effects::Scan => {
+                Effects::Scan(_) => {
                     !self
                         .machine
                         .can_affect_edge(self.pop.state(u), self.pop.state(v), link)
@@ -565,18 +604,55 @@ mod tests {
     fn indexed_and_scanning_modes_agree_step_for_step() {
         // Same machine, same seed: the two effectiveness backends must
         // produce bit-identical executions (they share the maintenance
-        // order and the sampling stream).
-        let mut a = EventSim::new(matching_protocol(), 15, 77);
-        let mut b = EventSim::new_scanning(matching_protocol(), 15, 77);
-        loop {
-            let (ra, rb) = (a.advance(u64::MAX), b.advance(u64::MAX));
-            assert_eq!(ra, rb);
-            assert_eq!(a.steps(), b.steps());
+        // order and the sampling stream). n = 15 keeps the scanning side
+        // on the plain per-pair scan; n = 300 activates the observed-
+        // state registry, whose word-parallel rescan must preserve the
+        // exact same membership order.
+        for n in [15, 300] {
+            let mut a = EventSim::new(matching_protocol(), n, 77);
+            let mut b = EventSim::new_scanning(matching_protocol(), n, 77);
+            loop {
+                let (ra, rb) = (a.advance(u64::MAX), b.advance(u64::MAX));
+                assert_eq!(ra, rb, "n={n}");
+                assert_eq!(a.steps(), b.steps(), "n={n}");
+                if ra == EventStep::Quiescent {
+                    break;
+                }
+            }
+            assert_eq!(a.population(), b.population(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scanning_registry_overflow_falls_back_exactly() {
+        // 100 distinct live states out of the gate: the 64-slot observed-
+        // state registry overflows and the scanning engine must keep the
+        // plain-scan behaviour, bit-identical to the indexed mode (which
+        // itself exercises the >32-state non-word-parallel rescan here).
+        let mut b = ProtocolBuilder::new("many-states");
+        let ids: Vec<_> = (0..100).map(|i| b.state(format!("s{i}"))).collect();
+        for i in 0..100 {
+            b.rule(
+                (ids[i], ids[(i + 1) % 100], OFF),
+                (ids[(i + 2) % 100], ids[(i + 3) % 100], ON),
+            );
+        }
+        let p = b.build().expect("valid");
+        let mut pop = Population::new(300, ids[0]);
+        for u in 0..300 {
+            pop.set_state(u, ids[u % 100]);
+        }
+        let mut a = EventSim::from_population(p.clone(), pop.clone(), 42);
+        let mut s = EventSim::from_population_scanning(p, pop, 42);
+        for _ in 0..200 {
+            let (ra, rs) = (a.advance(u64::MAX), s.advance(u64::MAX));
+            assert_eq!(ra, rs);
             if ra == EventStep::Quiescent {
                 break;
             }
         }
-        assert_eq!(a.population(), b.population());
+        assert_eq!(a.population(), s.population());
+        assert_eq!(a.steps(), s.steps());
     }
 
     #[test]

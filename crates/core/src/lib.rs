@@ -34,7 +34,13 @@
 //!   [`RuleProtocol`];
 //! * [`event`] — [`EventSim`], the exact event-driven engine that skips
 //!   ineffective interactions via geometric jumps while preserving every
-//!   measured distribution of the naive loop.
+//!   measured distribution of the naive loop;
+//! * [`bucket`] — [`BucketSim`], the sparse state-bucketed event engine:
+//!   the same distribution in O(n + |Q|²) memory, for populations the
+//!   dense pair set cannot touch (n ≥ 100 000);
+//! * [`select`] — [`Engine::auto`], which picks dense vs sparse by a
+//!   memory budget and runs predicates over a representation-neutral
+//!   [`EngineView`].
 //!
 //! # Choosing an engine
 //!
@@ -44,6 +50,9 @@
 //! default for measurement: identical output distribution under the
 //! uniform scheduler at a cost proportional to *effective* interactions
 //! (10–1000× fewer for the paper's constructors at interesting sizes).
+//! [`BucketSim`] trades a per-candidate rejection check for O(n + |Q|²)
+//! memory — the frontier engine beyond n ≈ 20 000. [`Engine::auto`]
+//! makes the dense/sparse call for you.
 //!
 //! # Example: the spanning-star code from the introduction
 //!
@@ -74,17 +83,21 @@ mod machine;
 mod population;
 mod state;
 
+pub mod bucket;
 pub mod compiled;
 pub mod event;
 pub mod rules;
 pub mod scheduler;
 pub mod seeds;
+pub mod select;
 pub mod sim;
 pub mod testing;
 
+pub use bucket::{BucketSim, SparsePop};
 pub use compiled::{CompiledTable, EffectTable, EnumerableMachine};
-pub use engine::PairSet;
+pub use engine::{geometric_skip, unit_open01, PairSet};
 pub use event::{EventSim, EventStep};
+pub use select::{Engine, EngineView};
 pub use machine::Machine;
 pub use population::Population;
 pub use rules::{ProtocolBuilder, ProtocolError, Rule, RuleProtocol, RuleRhs};

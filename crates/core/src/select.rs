@@ -1,0 +1,405 @@
+//! Engine selection: one entry point that picks the dense event engine
+//! or the sparse bucket engine by a memory budget.
+//!
+//! [`EventSim`](crate::EventSim) is the fastest exact engine per
+//! effective interaction but holds Θ(n²) bytes; [`BucketSim`] holds
+//! O(n + |Q|²) and pays a (usually tiny) rejection overhead instead.
+//! Both produce identically-distributed executions, so the only question
+//! is whether the dense structures fit: [`Engine::auto`] answers it with
+//! [`EventSim::dense_mem_estimate`] against a budget
+//! (`NETCON_ENGINE_MEM_BUDGET` bytes, default 512 MiB), falling back to
+//! the sparse engine beyond it — or beyond the dense pair set's
+//! `n ≤ 65535` id range, whatever the budget says.
+//!
+//! Stability predicates run against an [`EngineView`], which exposes the
+//! configuration queries both engines can answer without materializing
+//! anything dense.
+
+use crate::bucket::{BucketSim, SparsePop};
+use crate::compiled::EnumerableMachine;
+use crate::event::EventSim;
+use crate::sim::RunOutcome;
+use crate::Population;
+
+/// Default dense-engine memory budget: 512 MiB keeps the dense engine up
+/// to n ≈ 11 000 and the CI box comfortable.
+const DEFAULT_MEM_BUDGET: u64 = 512 << 20;
+
+/// The configuration view a selected engine hands to stability
+/// predicates: whatever the engine's representation, the same queries
+/// answer — population size, active edges, degrees, dense state indices.
+///
+/// Dense-only extras (the full [`Population`]) are reachable on the
+/// `Dense` arm; predicates that use them give up sparse-engine support.
+#[derive(Debug)]
+pub enum EngineView<'a, M: EnumerableMachine> {
+    /// The dense engine's configuration.
+    Dense {
+        /// The full configuration.
+        pop: &'a Population<M::State>,
+        /// The machine (for state-index queries).
+        machine: &'a M,
+    },
+    /// The sparse engine's configuration.
+    Sparse {
+        /// The sparse configuration.
+        sp: &'a SparsePop,
+        /// The machine (for state materialization).
+        machine: &'a M,
+    },
+}
+
+impl<M: EnumerableMachine> EngineView<'_, M> {
+    /// The population size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        match self {
+            Self::Dense { pop, .. } => pop.n(),
+            Self::Sparse { sp, .. } => sp.n(),
+        }
+    }
+
+    /// The number of active edges.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        match self {
+            Self::Dense { pop, .. } => pop.edges().active_count(),
+            Self::Sparse { sp, .. } => sp.active_count(),
+        }
+    }
+
+    /// The active degree of node `u`.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> usize {
+        match self {
+            Self::Dense { pop, .. } => pop.edges().degree(u) as usize,
+            Self::Sparse { sp, .. } => sp.degree(u),
+        }
+    }
+
+    /// Whether the edge `{u, v}` is active.
+    #[must_use]
+    pub fn is_active(&self, u: usize, v: usize) -> bool {
+        match self {
+            Self::Dense { pop, .. } => pop.edges().is_active(u, v),
+            Self::Sparse { sp, .. } => sp.is_active(u, v),
+        }
+    }
+
+    /// The dense state index of node `u`.
+    #[must_use]
+    pub fn state_index(&self, u: usize) -> usize {
+        match self {
+            Self::Dense { pop, machine } => machine.state_index(pop.state(u)),
+            Self::Sparse { sp, .. } => sp.state_index(u),
+        }
+    }
+
+    /// The number of nodes in state index `s` — O(1) on the sparse view,
+    /// an O(n) scan on the dense one.
+    #[must_use]
+    pub fn count_index(&self, s: usize) -> usize {
+        match self {
+            Self::Dense { pop, machine } => {
+                pop.count_where(|st| machine.state_index(st) == s)
+            }
+            Self::Sparse { sp, .. } => sp.count_index(s),
+        }
+    }
+
+    /// The nodes in state index `s` (arbitrary order) — bucket read on
+    /// the sparse view, O(n) scan on the dense one.
+    #[must_use]
+    pub fn nodes_index(&self, s: usize) -> Vec<usize> {
+        match self {
+            Self::Dense { pop, machine } => {
+                pop.nodes_where(|st| machine.state_index(st) == s)
+            }
+            Self::Sparse { sp, .. } => sp.nodes_index(s).iter().map(|&u| u as usize).collect(),
+        }
+    }
+
+    /// Materializes the full dense configuration — a clone on the dense
+    /// arm, an O(n²) edge-set build on the sparse arm. Escape hatch for
+    /// legacy dense predicates at sizes where the sparse engine was
+    /// chosen anyway; sparse-clean predicates should use the queries
+    /// above instead.
+    #[must_use]
+    pub fn to_population(&self) -> Population<M::State> {
+        match self {
+            Self::Dense { pop, .. } => (*pop).clone(),
+            Self::Sparse { sp, machine } => {
+                let states = (0..sp.n())
+                    .map(|u| machine.state_at(sp.state_index(u)))
+                    .collect();
+                Population::from_parts(states, sp.to_edgeset())
+            }
+        }
+    }
+}
+
+/// An exact uniform-scheduler engine chosen by memory budget: the dense
+/// [`EventSim`] when its Θ(n²) structures fit, the sparse [`BucketSim`]
+/// beyond that. Both arms have identical output distribution, so the
+/// choice is invisible to measurements.
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::{Engine, Link, ProtocolBuilder};
+///
+/// let mut b = ProtocolBuilder::new("matching");
+/// let a = b.state("a");
+/// let m = b.state("b");
+/// b.rule((a, a, Link::Off), (m, m, Link::On));
+/// let protocol = b.build()?.compile();
+///
+/// // Small population: the estimate fits any sane budget → dense.
+/// let mut eng = Engine::auto(protocol.clone(), 100, 1);
+/// assert!(!eng.is_sparse());
+/// let out = eng.run_until(|v| v.active_count() == 50, 10_000_000);
+/// assert!(out.stabilized());
+///
+/// // Tiny budget: the selector goes sparse, the run is equivalent.
+/// let mut eng = Engine::with_budget(protocol, 100, 1, 1024);
+/// assert!(eng.is_sparse());
+/// assert!(eng.run_until(|v| v.active_count() == 50, 10_000_000).stabilized());
+/// # Ok::<(), netcon_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum Engine<M: EnumerableMachine + Clone> {
+    /// The dense event engine.
+    Dense {
+        /// The engine.
+        sim: Box<EventSim<M>>,
+        /// A machine copy the view borrows during runs.
+        machine: M,
+    },
+    /// The sparse bucket engine.
+    Sparse {
+        /// The engine.
+        sim: Box<BucketSim<M>>,
+        /// A machine copy the view borrows during runs.
+        machine: M,
+    },
+}
+
+impl<M: EnumerableMachine + Clone> Engine<M> {
+    /// Selects an engine for `n` nodes under the default memory budget
+    /// (`NETCON_ENGINE_MEM_BUDGET` bytes if set, else 512 MiB) and
+    /// constructs it in the initial configuration.
+    #[must_use]
+    pub fn auto(machine: M, n: usize, seed: u64) -> Self {
+        Self::with_budget(machine, n, seed, Self::default_budget())
+    }
+
+    /// Selects by an explicit budget: dense iff the dense estimate fits
+    /// `budget_bytes` *and* `n` fits the dense pair set's `u16` node ids.
+    #[must_use]
+    pub fn with_budget(machine: M, n: usize, seed: u64, budget_bytes: u64) -> Self {
+        if n <= usize::from(u16::MAX) && EventSim::<M>::dense_mem_estimate(n) <= budget_bytes {
+            let sim = Box::new(EventSim::new(machine.clone(), n, seed));
+            Engine::Dense { sim, machine }
+        } else {
+            let sim = Box::new(BucketSim::new(machine.clone(), n, seed));
+            Engine::Sparse { sim, machine }
+        }
+    }
+
+    /// The active memory budget (`NETCON_ENGINE_MEM_BUDGET` or the
+    /// 512 MiB default).
+    #[must_use]
+    pub fn default_budget() -> u64 {
+        std::env::var("NETCON_ENGINE_MEM_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_MEM_BUDGET)
+    }
+
+    /// Whether the sparse engine was selected.
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Engine::Sparse { .. })
+    }
+
+    /// `"event-dense"` or `"bucket-sparse"`, for bench records.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Engine::Dense { .. } => "event-dense",
+            Engine::Sparse { .. } => "bucket-sparse",
+        }
+    }
+
+    /// Steps taken so far (including skipped ineffective draws).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        match self {
+            Engine::Dense { sim, .. } => sim.steps(),
+            Engine::Sparse { sim, .. } => sim.steps(),
+        }
+    }
+
+    /// Effective interactions so far.
+    #[must_use]
+    pub fn effective_steps(&self) -> u64 {
+        match self {
+            Engine::Dense { sim, .. } => sim.effective_steps(),
+            Engine::Sparse { sim, .. } => sim.effective_steps(),
+        }
+    }
+
+    /// Edge activations/deactivations so far.
+    #[must_use]
+    pub fn edge_events(&self) -> u64 {
+        match self {
+            Engine::Dense { sim, .. } => sim.edge_events(),
+            Engine::Sparse { sim, .. } => sim.edge_events(),
+        }
+    }
+
+    /// Bytes of heap memory held by the selected engine.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        match self {
+            Engine::Dense { sim, .. } => sim.approx_mem_bytes(),
+            Engine::Sparse { sim, .. } => sim.approx_mem_bytes(),
+        }
+    }
+
+    /// Runs until `stable` holds over the engine's view or `max_steps`
+    /// total steps have elapsed — the selected engine's `run_until`, with
+    /// identical semantics on both arms.
+    pub fn run_until(
+        &mut self,
+        mut stable: impl FnMut(&EngineView<'_, M>) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        match self {
+            Engine::Dense { sim, machine } => {
+                sim.run_until(|pop| stable(&EngineView::Dense { pop, machine }), max_steps)
+            }
+            Engine::Sparse { sim, machine } => {
+                sim.run_until(|sp| stable(&EngineView::Sparse { sp, machine }), max_steps)
+            }
+        }
+    }
+
+    /// Like [`run_until`](Self::run_until) but only re-evaluates the
+    /// predicate when an edge changes.
+    pub fn run_until_edges(
+        &mut self,
+        mut stable: impl FnMut(&EngineView<'_, M>) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        match self {
+            Engine::Dense { sim, machine } => sim
+                .run_until_edges(|pop| stable(&EngineView::Dense { pop, machine }), max_steps),
+            Engine::Sparse { sim, machine } => {
+                sim.run_until_edges(|sp| stable(&EngineView::Sparse { sp, machine }), max_steps)
+            }
+        }
+    }
+
+    /// Advances until the step counter reaches exactly `target`.
+    pub fn run_to(&mut self, target: u64) {
+        match self {
+            Engine::Dense { sim, .. } => sim.run_to(target),
+            Engine::Sparse { sim, .. } => sim.run_to(target),
+        }
+    }
+
+    /// Materializes the dense configuration (Θ(n²) on the sparse arm).
+    #[must_use]
+    pub fn to_population(&self) -> Population<M::State> {
+        match self {
+            Engine::Dense { sim, .. } => sim.population().clone(),
+            Engine::Sparse { sim, .. } => sim.to_population(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompiledTable, Link, ProtocolBuilder};
+
+    fn matching() -> CompiledTable {
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, Link::Off), (m, m, Link::On));
+        b.build().expect("valid").compile()
+    }
+
+    #[test]
+    fn budget_splits_dense_and_sparse() {
+        let dense = Engine::with_budget(matching(), 64, 1, u64::MAX);
+        assert!(!dense.is_sparse());
+        assert_eq!(dense.kind(), "event-dense");
+        let sparse = Engine::with_budget(matching(), 64, 1, 1);
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.kind(), "bucket-sparse");
+        // Past the dense pair set's u16 ids the budget is irrelevant.
+        let forced = Engine::with_budget(matching(), 70_000, 1, u64::MAX);
+        assert!(forced.is_sparse());
+    }
+
+    #[test]
+    fn both_arms_run_the_same_protocol() {
+        for budget in [u64::MAX, 1] {
+            let mut eng = Engine::with_budget(matching(), 30, 5, budget);
+            let out = eng.run_until_edges(|v| v.active_count() == 15, u64::MAX);
+            assert!(out.stabilized(), "budget {budget}: {out:?}");
+            assert_eq!(eng.effective_steps(), 15);
+            let pop = eng.to_population();
+            assert!(netcon_graph::properties::is_maximum_matching(pop.edges()));
+            assert!(eng.approx_mem_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn view_queries_agree_across_arms() {
+        let run = |budget: u64| {
+            let mut eng = Engine::with_budget(matching(), 20, 9, budget);
+            eng.run_until(|_| false, 2_000);
+            let mut counts = (0, 0);
+            eng.run_until(
+                |v| {
+                    counts = (v.count_index(0), v.count_index(1));
+                    assert_eq!(v.nodes_index(0).len() + v.nodes_index(1).len(), 20);
+                    assert_eq!(v.n(), 20);
+                    true
+                },
+                u64::MAX,
+            );
+            counts
+        };
+        let (d0, d1) = run(u64::MAX);
+        let (s0, s1) = run(1);
+        assert_eq!(d0 + d1, 20);
+        assert_eq!(s0 + s1, 20);
+    }
+
+    #[test]
+    fn view_degree_and_activity_agree_with_materialization() {
+        let mut eng = Engine::with_budget(matching(), 16, 3, 1);
+        eng.run_until_edges(|v| v.active_count() == 8, u64::MAX);
+        eng.run_until(
+            |v| {
+                let pop = v.to_population();
+                for u in 0..16 {
+                    assert_eq!(v.degree(u), pop.edges().degree(u) as usize);
+                    assert_eq!(v.state_index(u), 1);
+                    for w in 0..16 {
+                        if w != u {
+                            assert_eq!(v.is_active(u, w), pop.edges().is_active(u, w));
+                        }
+                    }
+                }
+                true
+            },
+            u64::MAX,
+        );
+    }
+}

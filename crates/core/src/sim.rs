@@ -401,6 +401,19 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
     pub fn output_graph(&self) -> netcon_graph::EdgeSet {
         crate::engine::output_graph(&self.machine, &self.pop)
     }
+
+    /// Bytes of heap memory held by the engine: node states, the dense
+    /// edge set (`3n²/16` bytes — the naive loop's Θ(n²) floor), and the
+    /// optional effective-pair tracker. Heap payloads *inside* composite
+    /// states are not counted.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        (self.pop.n() * std::mem::size_of::<M::State>()) as u64
+            + self.pop.edges().approx_mem_bytes()
+            + self.tracker.as_ref().map_or(0, |t| {
+                t.pairs.approx_mem_bytes() + t.index.approx_mem_bytes()
+            })
+    }
 }
 
 impl<M: EnumerableMachine, S: Scheduler> Simulation<M, S> {

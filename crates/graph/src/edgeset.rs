@@ -263,6 +263,14 @@ impl EdgeSet {
         d.sort_unstable();
         d
     }
+
+    /// Bytes of heap memory held by the set: the triangular bitset, the
+    /// square adjacency mirror, and the degree vector — `3n²/16 + 4n`
+    /// bytes, the Θ(n²) term the sparse engine exists to avoid.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        ((self.words.capacity() + self.rows.capacity()) * 8 + self.degrees.capacity() * 4) as u64
+    }
 }
 
 impl fmt::Debug for EdgeSet {

@@ -15,7 +15,10 @@
 //! The stable residue ("waste") is at most one isolated node or one
 //! matched pair, never both — see [`is_stable`].
 
-use netcon_core::{Link, Population, ProtocolBuilder, RuleProtocol, StateId};
+use netcon_core::{
+    EngineView, EnumerableMachine, Link, Population, ProtocolBuilder, RuleProtocol, SparsePop,
+    StateId,
+};
 use netcon_graph::properties::is_cycle_cover_with_waste;
 
 /// `q0` — degree 0.
@@ -55,6 +58,39 @@ pub fn is_stable(pop: &Population<StateId>) -> bool {
         _ => false,
     };
     residue_ok && is_cycle_cover_with_waste(pop.edges(), 2)
+}
+
+/// [`is_stable`] for the sparse engine, in O(1): the protocol's state
+/// encodes the node's active degree exactly (the
+/// `state_tracks_degree_invariant` test), so when the residue condition
+/// holds every remaining node is `q2` with degree 2 — the active graph
+/// decomposes into disjoint cycles with the residue as waste ≤ 2. Fires
+/// at exactly the same step as the dense predicate.
+#[must_use]
+pub fn is_stable_sparse(sp: &SparsePop) -> bool {
+    match (sp.count_index(Q0.index()), sp.count_index(Q1.index())) {
+        (0, 0) | (1, 0) => true,
+        (0, 2) => {
+            let q1 = sp.nodes_index(Q1.index());
+            sp.is_active(q1[0] as usize, q1[1] as usize)
+        }
+        _ => false,
+    }
+}
+
+/// [`is_stable_sparse`] over an engine-selection view
+/// ([`Engine`](netcon_core::Engine)-driven sweeps); the state-count
+/// queries are O(1) on the sparse arm and O(n) scans on the dense one.
+#[must_use]
+pub fn is_stable_view<M: EnumerableMachine>(v: &EngineView<'_, M>) -> bool {
+    match (v.count_index(Q0.index()), v.count_index(Q1.index())) {
+        (0, 0) | (1, 0) => true,
+        (0, 2) => {
+            let q1 = v.nodes_index(Q1.index());
+            v.is_active(q1[0], q1[1])
+        }
+        _ => false,
+    }
 }
 
 #[cfg(test)]

@@ -1,36 +1,63 @@
-//! Paired-trial statistical equivalence of the two engines.
+//! Paired-trial statistical equivalence of the three engines.
 //!
-//! `EventSim` is exact by construction: its `converged_at` / step-count
-//! distributions equal `Simulation`'s under the uniform scheduler. These
-//! tests check that claim empirically with ≥ 200 independent trials per
-//! engine per workload (disjoint seed streams, Welch z on the means,
-//! ratio bound on the variances). Seeds are fixed, so the suite is
-//! deterministic: the thresholds are set at ≈ 4σ of the null, far from
-//! both flakiness and real regressions (an engine bug that biases the
-//! skip law shows up as tens of σ).
+//! `EventSim` and `BucketSim` are exact by construction: their
+//! `converged_at` / step-count distributions equal `Simulation`'s under
+//! the uniform scheduler (`EventSim` skips the draws outside the exact
+//! effective set; `BucketSim` skips the draws outside a state-bucketed
+//! superset and rejects the difference — see `netcon_core::bucket`).
+//! These tests check the claims empirically with thousands of
+//! independent trials per engine per workload (disjoint seed streams,
+//! Welch z on the means, ratio bound on the variances), all pairwise.
+//! Seeds are fixed, so the suite is deterministic: the thresholds sit at
+//! ≈ 4σ of the null, far from both flakiness and real regressions (an
+//! engine bug that biases a skip law shows up as tens of σ).
+//!
+//! The coin-level proptests at the bottom pin the shared skip sampler
+//! itself: both event engines draw their skip counts from the same
+//! `geometric_skip` inversion, so feeding the two engines one skip
+//! schedule (the same stream of unit draws) makes the bucket engine —
+//! whose candidate set is a superset, hence whose hit probability is
+//! larger — skip no more than the dense engine at every step.
 
 use netcon::core::seeds::derive2;
-use netcon::core::{EventSim, Link, Population, ProtocolBuilder, RuleProtocol, Simulation, StateId};
+use netcon::core::{
+    geometric_skip, unit_open01, BucketSim, EventSim, Link, Population, ProtocolBuilder,
+    RuleProtocol, Simulation, SparsePop, StateId,
+};
 use netcon::graph::properties::is_maximum_matching;
 use netcon::protocols::{cycle_cover, simple_global_line};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EngineKind {
+    Naive,
+    Event,
+    Bucket,
+}
+use EngineKind::{Bucket, Event, Naive};
 
 /// Mean and sample variance of `converged_at` over `trials` runs.
 fn sample(
     protocol: &RuleProtocol,
     stable: impl Fn(&Population<StateId>) -> bool,
+    sparse_stable: impl Fn(&SparsePop) -> bool,
     n: usize,
     trials: u64,
     base_seed: u64,
-    event: bool,
+    kind: EngineKind,
 ) -> (f64, f64) {
     let compiled = protocol.compile();
     let samples: Vec<f64> = (0..trials)
         .map(|t| {
             let seed = derive2(base_seed, n as u64, t);
-            let out = if event {
-                EventSim::new(compiled.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
-            } else {
-                Simulation::new(protocol.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
+            let out = match kind {
+                Event => {
+                    EventSim::new(compiled.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
+                }
+                Bucket => BucketSim::new(compiled.clone(), n, seed)
+                    .run_until(|sp| sparse_stable(sp), u64::MAX),
+                Naive => {
+                    Simulation::new(protocol.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
+                }
             };
             out.converged_at().expect("stabilizes") as f64
         })
@@ -41,36 +68,47 @@ fn sample(
     (mean, var)
 }
 
-/// Asserts the two engines' `converged_at` means are within ≈ 4σ (Welch)
-/// and the variances within a generous ratio window.
-fn assert_equivalent(
+/// Asserts two engines' `converged_at` means are within ≈ 4σ (Welch) and
+/// the variances within a generous ratio window.
+fn assert_pair(name: &str, a: (&str, f64, f64), b: (&str, f64, f64), n: usize, trials: u64) {
+    let ((ka, ma, va), (kb, mb, vb)) = (a, b);
+    let se = (va / trials as f64 + vb / trials as f64).sqrt();
+    let z = (ma - mb) / se;
+    assert!(
+        z.abs() < 4.0,
+        "{name} n={n} {ka} vs {kb}: means differ by {z:.1}σ ({ka} {ma:.0} ± var {va:.0}, {kb} {mb:.0} ± var {vb:.0})"
+    );
+    let ratio = va.max(vb) / va.min(vb).max(1.0);
+    assert!(
+        ratio < 2.5,
+        "{name} n={n} {ka} vs {kb}: variance ratio {ratio:.2} ({ka} {va:.0}, {kb} {vb:.0})"
+    );
+    // And the means must be close in relative terms too (the acceptance
+    // bar for the engine additions): < 5% once trials ≥ 200.
+    let rel = (ma - mb).abs() / mb.abs().max(1.0);
+    assert!(
+        rel < 0.05,
+        "{name} n={n} {ka} vs {kb}: relative mean gap {:.2}% exceeds 5%",
+        100.0 * rel
+    );
+}
+
+/// Runs all three engines on disjoint seed streams and asserts pairwise
+/// equivalence of the `converged_at` distributions.
+fn assert_equivalent_3way(
     name: &str,
     protocol: &RuleProtocol,
     stable: impl Fn(&Population<StateId>) -> bool + Copy,
+    sparse_stable: impl Fn(&SparsePop) -> bool + Copy,
     n: usize,
     trials: u64,
 ) {
-    let (me, ve) = sample(protocol, stable, n, trials, 101, true);
-    let (mn, vn) = sample(protocol, stable, n, trials, 202, false);
-    let se = (ve / trials as f64 + vn / trials as f64).sqrt();
-    let z = (me - mn) / se;
-    assert!(
-        z.abs() < 4.0,
-        "{name} n={n}: means differ by {z:.1}σ (event {me:.0} ± var {ve:.0}, naive {mn:.0} ± var {vn:.0})"
-    );
-    let ratio = ve.max(vn) / ve.min(vn).max(1.0);
-    assert!(
-        ratio < 2.5,
-        "{name} n={n}: variance ratio {ratio:.2} (event {ve:.0}, naive {vn:.0})"
-    );
-    // And the means must be close in relative terms too (the acceptance
-    // bar for the engine refactor): < 5% once trials ≥ 200.
-    let rel = (me - mn).abs() / mn;
-    assert!(
-        rel < 0.05,
-        "{name} n={n}: relative mean gap {:.2}% exceeds 5%",
-        100.0 * rel
-    );
+    let (me, ve) = sample(protocol, stable, sparse_stable, n, trials, 101, Event);
+    let (mn, vn) = sample(protocol, stable, sparse_stable, n, trials, 202, Naive);
+    let (mb, vb) = sample(protocol, stable, sparse_stable, n, trials, 303, Bucket);
+    assert_pair(name, ("event", me, ve), ("naive", mn, vn), n, trials);
+    assert_pair(name, ("bucket", mb, vb), ("naive", mn, vn), n, trials);
+    assert_pair(name, ("bucket", mb, vb), ("event", me, ve), n, trials);
 }
 
 fn matching_protocol() -> RuleProtocol {
@@ -82,36 +120,39 @@ fn matching_protocol() -> RuleProtocol {
 }
 
 #[test]
-fn simple_global_line_matches_naive_engine() {
+fn simple_global_line_matches_across_engines() {
     // Θ(n⁴)-class workload; n stays small so the naive side finishes.
     // converged_at's relative sd here is ≈ 70%, so the 5% mean bar needs
     // thousands of trials to sit at ≳ 3σ of the null.
-    assert_equivalent(
+    assert_equivalent_3way(
         "Simple-Global-Line",
         &simple_global_line::protocol(),
         simple_global_line::is_stable,
+        simple_global_line::is_stable_sparse,
         16,
         3_000,
     );
 }
 
 #[test]
-fn cycle_cover_matches_naive_engine() {
-    assert_equivalent(
+fn cycle_cover_matches_across_engines() {
+    assert_equivalent_3way(
         "Cycle-Cover",
         &cycle_cover::protocol(),
         cycle_cover::is_stable,
+        cycle_cover::is_stable_sparse,
         32,
         5_000,
     );
 }
 
 #[test]
-fn matching_process_matches_naive_engine() {
-    assert_equivalent(
+fn matching_process_matches_across_engines() {
+    assert_equivalent_3way(
         "Maximum-Matching",
         &matching_protocol(),
         |p| is_maximum_matching(p.edges()),
+        |sp| sp.count_index(0) <= 1,
         32,
         5_000,
     );
@@ -120,24 +161,30 @@ fn matching_process_matches_naive_engine() {
 #[test]
 fn step_budget_distribution_matches() {
     // MaxSteps outcomes must also agree: with a budget below the typical
-    // convergence time, both engines should time out at the same rate and
-    // report exactly the budget.
+    // convergence time, all three engines should time out at the same
+    // rate and report exactly the budget.
     let p = matching_protocol();
     let compiled = p.compile();
     let n = 40;
     let budget = 300; // ~ half the typical matching time at n=40
     let trials = 400u64;
-    let timeouts = |event: bool| -> (u64, u64) {
+    let timeouts = |kind: EngineKind| -> (u64, u64) {
         let mut timed_out = 0;
         let mut stabilized = 0;
         for t in 0..trials {
-            let seed = derive2(if event { 77 } else { 88 }, n as u64, t);
-            let out = if event {
-                EventSim::new(compiled.clone(), n, seed)
-                    .run_until(|q| is_maximum_matching(q.edges()), budget)
-            } else {
-                Simulation::new(p.clone(), n, seed)
-                    .run_until(|q| is_maximum_matching(q.edges()), budget)
+            let base = match kind {
+                Event => 77,
+                Naive => 88,
+                Bucket => 99,
+            };
+            let seed = derive2(base, n as u64, t);
+            let out = match kind {
+                Event => EventSim::new(compiled.clone(), n, seed)
+                    .run_until(|q| is_maximum_matching(q.edges()), budget),
+                Bucket => BucketSim::new(compiled.clone(), n, seed)
+                    .run_until(|sp| sp.count_index(0) <= 1, budget),
+                Naive => Simulation::new(p.clone(), n, seed)
+                    .run_until(|q| is_maximum_matching(q.edges()), budget),
             };
             match out {
                 netcon::core::RunOutcome::MaxSteps { steps } => {
@@ -152,14 +199,138 @@ fn step_budget_distribution_matches() {
         }
         (timed_out, stabilized)
     };
-    let (te, se_) = timeouts(true);
-    let (tn, sn) = timeouts(false);
+    let (te, se_) = timeouts(Event);
+    let (tn, sn) = timeouts(Naive);
+    let (tb, sb) = timeouts(Bucket);
     assert_eq!(te + se_, trials);
     assert_eq!(tn + sn, trials);
+    assert_eq!(tb + sb, trials);
     // Binomial SE at 400 trials is ≤ 0.025; allow ~4σ.
-    let diff = (te as f64 - tn as f64).abs() / trials as f64;
-    assert!(
-        diff < 0.10,
-        "timeout rates diverge: event {te}/{trials} vs naive {tn}/{trials}"
-    );
+    for (label, tx) in [("event", te), ("bucket", tb)] {
+        let diff = (tx as f64 - tn as f64).abs() / trials as f64;
+        assert!(
+            diff < 0.10,
+            "timeout rates diverge: {label} {tx}/{trials} vs naive {tn}/{trials}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coin-level properties of the shared skip sampler.
+// ---------------------------------------------------------------------
+
+mod skip_schedule {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        /// The inversion is the exact geometric CDF: skip(u, p) = g iff
+        /// (1−p)^{g+1} < u ≤ (1−p)^g — i.e. g leading "misses" in the
+        /// naive engine's Bernoulli sequence.
+        #[test]
+        fn inversion_matches_geometric_cdf(raw in any::<u64>(), kp in 1u64..1000, mp in 1000u64..2000) {
+            let p = kp as f64 / mp as f64;
+            let u = unit_open01(raw);
+            let g = geometric_skip(u, p);
+            prop_assert!(g >= 0.0);
+            // Guard the comparison against the extreme tail where the
+            // powers underflow.
+            if g < 1e6 {
+                let q = 1.0 - p;
+                let hi = q.powf(g);
+                let lo = q.powf(g + 1.0);
+                // f64 rounding at the boundary: allow one ulp-ish slack.
+                prop_assert!(u <= hi * (1.0 + 1e-12), "u={u} > (1-p)^g={hi}");
+                prop_assert!(u > lo * (1.0 - 1e-12), "u={u} <= (1-p)^(g+1)={lo}");
+            }
+        }
+
+        /// Sharing one skip schedule (the same unit draw), the engine
+        /// with the larger candidate set never skips more: BucketSim's
+        /// over-approximating set (p_bucket ≥ p_event) hits no later than
+        /// EventSim's exact set on every draw.
+        #[test]
+        fn shared_schedule_is_monotone_in_p(raw in any::<u64>(), ke in 1u64..500, extra in 0u64..500, m in 1000u64..4000) {
+            let u = unit_open01(raw);
+            let p_event = ke as f64 / m as f64;
+            let p_bucket = (ke + extra) as f64 / m as f64;
+            prop_assert!(geometric_skip(u, p_bucket) <= geometric_skip(u, p_event));
+        }
+
+        /// The two event engines' candidate-set sizes obey the superset
+        /// relation on random reachable matching configurations, and both
+        /// count exactly what a brute-force scan counts.
+        #[test]
+        fn candidate_sets_are_nested_and_exact(n in 4usize..32, steps in 0u64..40, seed in any::<u64>()) {
+            let p = super::matching_protocol().compile();
+            let mut ev = EventSim::new(p.clone(), n, seed);
+            ev.run_to(steps);
+            let pop = ev.population().clone();
+            let mut bu = BucketSim::from_population(p.clone(), pop.clone(), seed);
+
+            // Brute force over all ordered pairs.
+            let mut exact = 0u64;
+            let mut maybe = 0u64;
+            for u in 0..n {
+                for v in 0..n {
+                    if u == v { continue; }
+                    let link = Link::from(pop.edges().is_active(u, v));
+                    let (a, b) = (pop.state(u), pop.state(v));
+                    use netcon::core::Machine;
+                    if p.can_affect(a, b, link) { exact += 1; }
+                    if p.can_affect(a, b, Link::Off)
+                        || (link == Link::On && p.can_affect(a, b, Link::On)) {
+                        maybe += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(2 * ev.effective_pairs() as u64, exact);
+            prop_assert_eq!(bu.candidate_weight(), maybe);
+            prop_assert!(bu.candidate_weight() >= 2 * ev.effective_pairs() as u64);
+        }
+
+        /// Driving both engines with the same seed does not make them
+        /// coin-identical (their draws differ), but on a protocol whose
+        /// effectiveness is link-blind in the initial configuration the
+        /// *first* skip of both engines comes from the same schedule
+        /// entry and the same p — so it is bit-equal.
+        #[test]
+        fn first_skip_agrees_when_sets_coincide(n in 4usize..40, seed in any::<u64>()) {
+            let p = super::matching_protocol().compile();
+            // Initial configuration: all nodes in state a, no edges. The
+            // exact set and the bucket set are both "all pairs": p = 1 …
+            // unless n(n−1)/2 = k, in which case both engines skip the
+            // draw entirely. Either way their first candidate lands on
+            // step 1 with the same skip count (0).
+            let mut ev = EventSim::new(p.clone(), n, seed);
+            let mut bu = BucketSim::new(p, n, seed);
+            let (re, rb) = (ev.advance(u64::MAX), bu.advance(u64::MAX));
+            let skip_of = |s| match s {
+                netcon::core::EventStep::Candidate { skipped, .. } => skipped,
+                other => panic!("expected a candidate, got {other:?}"),
+            };
+            prop_assert_eq!(skip_of(re), 0);
+            prop_assert_eq!(skip_of(rb), 0);
+            prop_assert_eq!(ev.steps(), 1);
+            prop_assert_eq!(bu.steps(), 1);
+        }
+    }
+
+    /// Non-proptest spot check: the sampler consumes exactly one raw draw
+    /// in the engines (the documented schedule contract), so replaying a
+    /// recorded schedule reproduces the skips.
+    #[test]
+    fn schedule_replay_reproduces_skips() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let schedule: Vec<u64> = (0..64).map(|_| rng.next_u64()).collect();
+        let p = 0.125;
+        let a: Vec<f64> = schedule.iter().map(|&r| geometric_skip(unit_open01(r), p)).collect();
+        let b: Vec<f64> = schedule.iter().map(|&r| geometric_skip(unit_open01(r), p)).collect();
+        assert_eq!(a, b);
+        // And the empirical mean sits near the geometric mean (1−p)/p.
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - (1.0 - p) / p).abs() < 4.0, "mean skip {mean}");
+    }
 }
