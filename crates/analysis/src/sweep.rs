@@ -1,6 +1,8 @@
 //! Parallel trial sweeps over a ladder of population sizes.
 
-use netcon_core::{CompiledTable, Engine, EngineView, Machine, Population, RuleProtocol, StateId};
+use netcon_core::{
+    CompiledTable, Engine, EngineView, Machine, Population, RuleProtocol, SchedulerKind, StateId,
+};
 
 use crate::stats::Summary;
 
@@ -152,6 +154,81 @@ where
     })
 }
 
+/// The number of ShuffledRounds rounds a single run needs to converge:
+/// the smallest `ρ` such that the output graph never changes after round
+/// `ρ` — the round-denominated (parallel-time) reading of the paper's
+/// convergence time, measured on the **auto-selected round engine**
+/// ([`Engine::auto_for`] with [`SchedulerKind::ShuffledRounds`]: the
+/// event-driven [`netcon_core::RoundSim`] within the memory budget, the
+/// naive round-playing loop beyond it — identical distribution either
+/// way).
+///
+/// `stable` must certify output stability, as the per-protocol
+/// predicates in `netcon-protocols` do.
+///
+/// # Panics
+///
+/// Panics if the run fails to stabilize within `max_steps`.
+#[must_use]
+pub fn rounds_to_converge(
+    protocol: &RuleProtocol,
+    n: usize,
+    seed: u64,
+    stable: impl Fn(&Population<StateId>) -> bool,
+    max_steps: u64,
+) -> u64 {
+    rounds_of_run(protocol.compile(), protocol.name(), n, seed, &stable, max_steps)
+}
+
+/// [`rounds_to_converge`] on an already-compiled table (so sweeps
+/// compile once, not per trial).
+fn rounds_of_run(
+    compiled: CompiledTable,
+    name: &str,
+    n: usize,
+    seed: u64,
+    stable: &impl Fn(&Population<StateId>) -> bool,
+    max_steps: u64,
+) -> u64 {
+    let mut eng = Engine::auto_for(compiled, n, seed, SchedulerKind::ShuffledRounds);
+    let converged = eng
+        .run_until(
+            |view| match view {
+                EngineView::Dense { pop, .. } => stable(pop),
+                sparse @ EngineView::Sparse { .. } => stable(&sparse.to_population()),
+            },
+            max_steps,
+        )
+        .converged_at()
+        .unwrap_or_else(|| panic!("{name} did not stabilize on n={n} within {max_steps}"));
+    let pairs_per_round = (n as u64) * (n as u64 - 1) / 2;
+    converged.div_ceil(pairs_per_round)
+}
+
+/// Sweeps a flat protocol's ShuffledRounds convergence time **in
+/// rounds** over the configured sizes — the round-based fast path:
+/// each trial runs [`rounds_to_converge`] on the auto-selected round
+/// engine, at event-driven cost instead of Θ(n²) work per round.
+///
+/// # Panics
+///
+/// Panics if any trial fails to stabilize within `max_steps`.
+pub fn sweep_rounds_to_converge<P>(
+    cfg: &SweepConfig,
+    protocol: &RuleProtocol,
+    stable: P,
+    max_steps: u64,
+) -> SweepTable
+where
+    P: Fn(&Population<StateId>) -> bool + Sync,
+{
+    let compiled = protocol.compile();
+    let name = protocol.name().to_owned();
+    sweep(cfg, |n, seed| {
+        rounds_of_run(compiled.clone(), &name, n, seed, &stable, max_steps) as f64
+    })
+}
+
 /// Runs `f` over `jobs` in parallel, preserving the order of results.
 fn run_jobs<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -247,6 +324,36 @@ mod tests {
         // Reproducible: same config, same table.
         let t2 = sweep_converged_at(&cfg, &p, |pop| pop.count_where(|s| *s == a) <= 1, u64::MAX);
         assert_eq!(t.rows[1].samples, t2.rows[1].samples);
+    }
+
+    #[test]
+    fn round_sweep_measures_rounds() {
+        use netcon_core::{Link, ProtocolBuilder};
+        // Maximum matching completes within round 1 under any box
+        // schedule (every pair occurs once per round), so the sweep's
+        // rounds column is deterministically 1 at every even size.
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, Link::Off), (m, m, Link::On));
+        let p = b.build().expect("valid");
+        let stable = move |pop: &Population<StateId>| pop.count_where(|s| *s == a) <= 1;
+        let cfg = SweepConfig {
+            sizes: vec![8, 16],
+            trials: 3,
+            base_seed: 11,
+        };
+        let t = sweep_rounds_to_converge(&cfg, &p, stable, u64::MAX);
+        for r in &t.rows {
+            assert!(
+                r.samples.iter().all(|&x| x == 1.0),
+                "n={}: rounds {:?}",
+                r.n,
+                r.samples
+            );
+        }
+        // Single-run helper agrees.
+        assert_eq!(rounds_to_converge(&p, 10, 3, stable, u64::MAX), 1);
     }
 
     #[test]

@@ -1,32 +1,37 @@
 //! Executes every bench target (not just compiles them) and writes
-//! `BENCH_PR3.json`: per-bench wall-clock, the engine speedup record,
-//! per-engine measured memory, and the sparse-engine scaling frontier —
-//! plus an optional regression gate against a committed baseline.
+//! `BENCH_PR4.json`: per-bench wall-clock, the engine speedup records
+//! (uniform *and* ShuffledRounds), per-engine measured memory, and the
+//! frontier ladders — plus an optional regression gate against a
+//! committed baseline. `crates/bench/README.md` documents the JSON
+//! schema, the carry-forward rules, and the `--check` semantics.
 //!
 //! ```sh
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke -- \
-//!     --out bench-smoke.json --check BENCH_PR3.json   # CI gate
+//!     --out bench-smoke.json --check BENCH_PR4.json   # CI gate
 //! ```
 //!
 //! `NETCON_BENCH_SCALE` (percent) is inherited by the spawned bench
 //! processes and by the in-process engine measurement; CI uses the
 //! minimum (1) so the whole suite stays in smoke-test territory. The
-//! output path defaults to `BENCH_PR3.json` in the workspace root
+//! output path defaults to `BENCH_PR4.json` in the workspace root
 //! (`--out <path>` overrides).
 //!
 //! `--check <baseline.json>` compares this run's per-bench wall-clock
 //! against the baseline's `benches` section and exits non-zero when any
 //! target regressed by more than `NETCON_BENCH_TOLERANCE` × (default
-//! 2.5×, small-time floor 0.1 s). The gate only fires when the two runs
-//! used the same `bench_scale_pct` — comparing a smoke run against a
-//! full-scale record would be noise.
+//! 2.5×, small-time floor 0.1 s); the failure message names every
+//! offending target with both wall times, the measured ratio, and the
+//! active tolerance. The gate only fires when the two runs used the same
+//! `bench_scale_pct` — comparing a smoke run against a full-scale record
+//! would be noise.
 //!
-//! The `scaling_frontier` section (Simple-Global-Line / Cycle-Cover on
-//! the bucket engine at n ∈ {20k, 50k, 100k}) is expensive (~15 min) and
-//! is regenerated only when `NETCON_FRONTIER=1`; otherwise any section
-//! already present in the output file is carried forward, like the
-//! `large_sample_agreement_n256` record.
+//! Expensive sections are regenerated only on request and carried
+//! forward otherwise: `scaling_frontier` (bucket engine at n ∈
+//! {20k, 50k, 100k}, ~15 min) under `NETCON_FRONTIER=1`,
+//! `round_frontier` (RoundSim ladder up to `NETCON_ROUND_FRONTIER_N`,
+//! default 1024) under `NETCON_ROUND_FRONTIER=1`, and
+//! `large_sample_agreement_n256` under `NETCON_NAIVE_TRIALS_256=<k>`.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -34,8 +39,10 @@ use std::process::Command;
 use std::time::Instant;
 
 use netcon_bench::harness::scale;
-use netcon_bench::speedup::{bucket_stats, compare_engines, Comparison};
-use netcon_core::{BucketSim, CompiledTable, EventSim, Simulation, SparsePop};
+use netcon_bench::speedup::{
+    bucket_stats, compare_engines, compare_round_engines, Comparison,
+};
+use netcon_core::{BucketSim, CompiledTable, EventSim, RoundSim, Simulation, SparsePop};
 use netcon_protocols::{cycle_cover, fast_global_line, simple_global_line};
 
 fn bench_targets(bench_dir: &Path) -> Vec<String> {
@@ -53,10 +60,15 @@ fn bench_targets(bench_dir: &Path) -> Vec<String> {
 /// Extracts a top-level `"key": { … }` object (key line through its
 /// matching closing brace, no trailing comma/newline) from an existing
 /// output file, so cheap re-runs preserve expensive records.
+///
+/// The needle is anchored to the section's own line (`\n  "key": {`):
+/// a bench *target* of the same name appears earlier in the file as
+/// `{ "name": "key", … }` inside the `benches` array, and an unanchored
+/// search used to latch onto that row and carry forward garbage.
 fn carry_forward_section(out_path: &Path, key: &str) -> Option<String> {
     let old = std::fs::read_to_string(out_path).ok()?;
-    let needle = format!("\"{key}\"");
-    let start = old.find(&needle)?;
+    let needle = format!("\n  \"{key}\": {{");
+    let start = old.find(&needle)? + 1;
     let brace = start + old[start..].find('{')?;
     let mut depth = 0usize;
     for (i, ch) in old[brace..].char_indices() {
@@ -65,7 +77,7 @@ fn carry_forward_section(out_path: &Path, key: &str) -> Option<String> {
             '}' => {
                 depth -= 1;
                 if depth == 0 {
-                    return Some(format!("  {}", &old[start..=brace + i]));
+                    return Some(old[start..=brace + i].to_owned());
                 }
             }
             _ => {}
@@ -133,13 +145,20 @@ fn check_against_baseline(
         let verdict = if *wall > tolerance * floor { "REGRESSED" } else { "ok" };
         println!("  {name:<24} {wall:>8.3}s vs {base:>8.3}s ({ratio:>5.2}x) {verdict}");
         if *wall > tolerance * floor {
-            failures.push(format!("{name}: {wall:.3}s vs baseline {base:.3}s"));
+            failures.push(format!(
+                "{name}: current {wall:.3}s vs baseline {base:.3}s \
+                 ({ratio:.2}x, tolerance {tolerance}x over max(baseline, 0.1s))"
+            ));
         }
     }
     if failures.is_empty() {
         Ok(())
     } else {
-        Err(format!("wall-clock regressions beyond {tolerance}x: {failures:?}"))
+        Err(format!(
+            "{} target(s) regressed beyond {tolerance}x:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
     }
 }
 
@@ -230,6 +249,84 @@ fn bucket_engine_section(scale_trials: usize) -> String {
     s
 }
 
+/// The ShuffledRounds head-to-head record at n = 256: `RoundSim` vs the
+/// naive round-playing loop on Simple-Global-Line, with convergence in
+/// draws and rounds — the speedup-over-naive-ShuffledRounds acceptance
+/// record.
+fn round_engine_section(round_trials: usize, naive_trials: usize) -> (String, f64) {
+    let c = compare_round_engines(
+        &simple_global_line::protocol(),
+        simple_global_line::is_stable,
+        256,
+        round_trials,
+        naive_trials,
+        9,
+    );
+    let mut s = String::from("  \"round_engine\": {\n");
+    let _ = write!(
+        s,
+        "    \"simple_global_line_n256\": {{\n      \"n\": {},\n      \"scheduler\": \"shuffled-rounds\",\n      \"round_trials\": {},\n      \"round_mean_converged_at\": {:.1},\n      \"round_mean_rounds\": {:.1},\n      \"round_mean_effective_steps\": {:.1},\n      \"round_wall_s\": {:.4},\n      \"naive_trials\": {},\n      \"naive_mean_converged_at\": {:.1},\n      \"naive_mean_rounds\": {:.1},\n      \"naive_wall_s\": {:.4},\n      \"speedup_per_trial\": {:.1},\n      \"mean_rel_diff\": {:.4}\n    }}\n  }}",
+        c.n,
+        c.round.trials,
+        c.round.mean_converged,
+        c.round_mean_rounds,
+        c.round.mean_effective,
+        c.round.wall_s,
+        c.naive.trials,
+        c.naive.mean_converged,
+        c.naive_mean_rounds,
+        c.naive.wall_s,
+        c.speedup,
+        c.mean_rel_diff,
+    );
+    (s, c.speedup)
+}
+
+/// The round-frontier record: `RoundSim` alone at a doubling ladder of
+/// sizes up to `NETCON_ROUND_FRONTIER_N` (default 1024) — sizes whose
+/// naive round-player would take hours. Only under
+/// `NETCON_ROUND_FRONTIER=1`.
+fn round_frontier_section() -> String {
+    // The ladder always includes its n = 256 base rung, so smaller caps
+    // are clamped up — and the recorded note states the effective cap.
+    let cap: usize = std::env::var("NETCON_ROUND_FRONTIER_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+        .max(256);
+    let protocol = simple_global_line::protocol().compile();
+    let mut s = String::from("  \"round_frontier\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"regenerate with NETCON_ROUND_FRONTIER=1 cargo run --release -p netcon-bench --bin perf_smoke (ladder cap NETCON_ROUND_FRONTIER_N={cap}); runs without that variable carry this section forward\","
+    );
+    let _ = writeln!(s, "    \"simple_global_line\": [");
+    let sizes: Vec<usize> = std::iter::successors(Some(256usize), |&n| Some(n * 2))
+        .take_while(|&n| n <= cap)
+        .collect();
+    for (i, &n) in sizes.iter().enumerate() {
+        println!("==> round frontier: simple_global_line n = {n} (RoundSim)");
+        let m = (n as u64) * (n as u64 - 1) / 2;
+        let t0 = Instant::now();
+        let mut sim = RoundSim::new(protocol.clone(), n, 2014 + n as u64);
+        let out = sim.run_until(simple_global_line::is_stable, u64::MAX);
+        let wall = t0.elapsed().as_secs_f64();
+        let converged = out
+            .converged_at()
+            .unwrap_or_else(|| panic!("simple_global_line did not stabilize at n={n}"));
+        let comma = if i + 1 < sizes.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{ \"n\": {n}, \"engine\": \"round-dense\", \"converged_at\": {converged}, \"converged_rounds\": {}, \"effective_steps\": {}, \"wall_s\": {wall:.2}, \"approx_mem_bytes\": {} }}{comma}",
+            converged.div_ceil(m),
+            sim.effective_steps(),
+            sim.approx_mem_bytes(),
+        );
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
 /// The frontier record: bucket-engine runs at n ∈ {20k, 50k, 100k}.
 /// ~15 minutes of single-core work — only under `NETCON_FRONTIER=1`.
 fn scaling_frontier_section() -> String {
@@ -304,7 +401,7 @@ fn main() {
         }
         (
             out.unwrap_or_else(|| {
-                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json")
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
             }),
             check,
         )
@@ -363,6 +460,13 @@ fn main() {
     let memory_section = engine_memory_section();
     let bucket_section = bucket_engine_section(scale(200).max(100));
 
+    // The naive floor is 8 trials (~0.8 s each): converged_at's ~70%
+    // relative sd would otherwise turn the record's mean_rel_diff into
+    // pure small-sample noise.
+    println!("==> round engine comparison (n = 256, ShuffledRounds)");
+    let (round_section, round_speedup) =
+        round_engine_section(scale(100).max(50), scale(16).clamp(8, 24));
+
     // Expensive sections carry forward from the output file, or — when
     // writing somewhere fresh, as CI's bench-smoke does — from the
     // --check baseline, so the uploaded artifact keeps the records.
@@ -374,6 +478,11 @@ fn main() {
         Some(scaling_frontier_section())
     } else {
         carry("scaling_frontier")
+    };
+    let round_frontier = if std::env::var("NETCON_ROUND_FRONTIER").is_ok_and(|v| v == "1") {
+        Some(round_frontier_section())
+    } else {
+        carry("round_frontier")
     };
 
     // Large-sample mean-agreement record. `NETCON_NAIVE_TRIALS_256=<k>`
@@ -421,7 +530,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"pr\": 4,");
     let _ = writeln!(json, "  \"bench_scale_pct\": \"{scale_pct}\",");
     json.push_str("  \"benches\": [\n");
     for (i, (name, wall)) in rows.iter().enumerate() {
@@ -440,7 +549,13 @@ fn main() {
     json.push_str(&memory_section);
     json.push_str(",\n");
     json.push_str(&bucket_section);
+    json.push_str(",\n");
+    json.push_str(&round_section);
     if let Some(section) = frontier {
+        json.push_str(",\n");
+        json.push_str(&section);
+    }
+    if let Some(section) = round_frontier {
         json.push_str(",\n");
         json.push_str(&section);
     }
@@ -450,12 +565,13 @@ fn main() {
     }
     json.push_str("\n}\n");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_PR3.json");
+    std::fs::write(&out_path, &json).expect("write the bench record JSON");
     println!(
-        "\nwrote {} ({} bench targets; Simple-Global-Line n=256 speedup {:.0}x)",
+        "\nwrote {} ({} bench targets; SGL n=256 uniform-event speedup {:.0}x, round-engine speedup {:.0}x)",
         out_path.display(),
         rows.len(),
-        simple.speedup
+        simple.speedup,
+        round_speedup,
     );
 
     if let Some(baseline) = check_path {

@@ -4,7 +4,10 @@
 use std::time::Instant;
 
 use netcon_core::seeds::derive2;
-use netcon_core::{BucketSim, EventSim, Population, RuleProtocol, Simulation, SparsePop, StateId};
+use netcon_core::{
+    BucketSim, EventSim, Population, RoundSim, RuleProtocol, ShuffledRounds, Simulation,
+    SparsePop, StateId,
+};
 
 /// Per-engine aggregates over a trial set.
 #[derive(Debug, Clone, Copy)]
@@ -117,6 +120,96 @@ pub fn compare_engines(
             / naive.mean_converged,
         event,
         naive,
+    }
+}
+
+/// The ShuffledRounds head-to-head record for one protocol and size:
+/// the event-driven [`RoundSim`] against the naive round-playing loop,
+/// with convergence read in draws *and* rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundComparison {
+    /// Population size.
+    pub n: usize,
+    /// Event-driven round engine aggregates.
+    pub round: EngineStats,
+    /// Mean rounds to converge on the round engine.
+    pub round_mean_rounds: f64,
+    /// Naive ShuffledRounds aggregates.
+    pub naive: EngineStats,
+    /// Mean rounds to converge on the naive loop.
+    pub naive_mean_rounds: f64,
+    /// Per-trial mean wall-clock ratio: naive / round.
+    pub speedup: f64,
+    /// `|mean_r − mean_n| / mean_n` on `converged_at`.
+    pub mean_rel_diff: f64,
+}
+
+/// Runs `round_trials` [`RoundSim`] and `naive_trials` naive
+/// ShuffledRounds executions of `protocol` to `stable` on `n` nodes,
+/// sharing the seed stream (`derive2(base_seed, n, trial)`), and reports
+/// the head-to-head record — the ShuffledRounds counterpart of
+/// [`compare_engines`].
+///
+/// # Panics
+///
+/// Panics if any trial fails to stabilize.
+#[must_use]
+pub fn compare_round_engines(
+    protocol: &RuleProtocol,
+    stable: fn(&Population<StateId>) -> bool,
+    n: usize,
+    round_trials: usize,
+    naive_trials: usize,
+    base_seed: u64,
+) -> RoundComparison {
+    let compiled = protocol.compile();
+    let pairs_per_round = (n as u64) * (n as u64 - 1) / 2;
+    let rounds_of = |converged: f64| (converged as u64).div_ceil(pairs_per_round) as f64;
+
+    let mut round_samples = Vec::with_capacity(round_trials);
+    let t0 = Instant::now();
+    for t in 0..round_trials {
+        let mut sim = RoundSim::new(compiled.clone(), n, derive2(base_seed, n as u64, t as u64));
+        let out = sim.run_until(stable, u64::MAX);
+        round_samples.push((
+            out.converged_at().expect("stabilizes") as f64,
+            sim.steps() as f64,
+            sim.effective_steps() as f64,
+        ));
+    }
+    let round = stats_of(&round_samples, t0.elapsed().as_secs_f64());
+    let round_mean_rounds =
+        round_samples.iter().map(|s| rounds_of(s.0)).sum::<f64>() / round_trials as f64;
+
+    let mut naive_samples = Vec::with_capacity(naive_trials);
+    let t0 = Instant::now();
+    for t in 0..naive_trials {
+        let mut sim = Simulation::with_scheduler(
+            protocol.clone(),
+            n,
+            derive2(base_seed, n as u64, t as u64),
+            ShuffledRounds::new(),
+        );
+        let out = sim.run_until(stable, u64::MAX);
+        naive_samples.push((
+            out.converged_at().expect("stabilizes") as f64,
+            sim.steps() as f64,
+            sim.effective_steps() as f64,
+        ));
+    }
+    let naive = stats_of(&naive_samples, t0.elapsed().as_secs_f64());
+    let naive_mean_rounds =
+        naive_samples.iter().map(|s| rounds_of(s.0)).sum::<f64>() / naive_trials as f64;
+
+    RoundComparison {
+        n,
+        speedup: (naive.wall_s / naive.trials as f64) / (round.wall_s / round.trials as f64),
+        mean_rel_diff: (round.mean_converged - naive.mean_converged).abs()
+            / naive.mean_converged,
+        round,
+        round_mean_rounds,
+        naive,
+        naive_mean_rounds,
     }
 }
 

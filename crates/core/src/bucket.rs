@@ -23,7 +23,7 @@
 //!    `p = K / n(n−1)` — states are frozen during misses, exactly the
 //!    argument of the dense engine, with `E'` in place of `E`. The count
 //!    comes from the same inversion draw
-//!    ([`geometric_skip`](crate::geometric_skip)).
+//!    ([`geometric_skip`]).
 //! 3. A candidate is then drawn uniformly from `E'`: an off bucket with
 //!    probability proportional to its pair count (one cumulative-weight
 //!    search over ≤ |Q|² integers), then a uniform member from each
@@ -278,7 +278,7 @@ impl SparsePop {
 /// the same [`EventStep`], `run_until`/`run_until_edges`/`run_to` have
 /// the same semantics — except that stability predicates receive a
 /// [`SparsePop`] view instead of a dense
-/// [`Population`](crate::Population): no Θ(n²) structure is ever built.
+/// [`Population`]: no Θ(n²) structure is ever built.
 ///
 /// [`advance`]: Self::advance
 ///
@@ -341,6 +341,20 @@ impl<M: EnumerableMachine> BucketSim<M> {
     /// counts must fit `u64`), the machine has more than 65536 states, or
     /// the machine's `can_affect` is not symmetric in its node arguments
     /// (a [`Machine`](crate::Machine) contract violation).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netcon_core::{BucketSim, Link, ProtocolBuilder};
+    /// let mut b = ProtocolBuilder::new("pairing");
+    /// let a = b.state("a");
+    /// let p = b.state("b");
+    /// b.rule((a, a, Link::Off), (p, p, Link::On));
+    /// // A million nodes allocate O(n), not Θ(n²).
+    /// let mut sim = BucketSim::new(b.build()?.compile(), 1_000_000, 7);
+    /// assert_eq!(sim.candidate_weight(), 1_000_000u64 * 999_999);
+    /// # Ok::<(), netcon_core::ProtocolError>(())
+    /// ```
     #[must_use]
     pub fn new(machine: M, n: usize, seed: u64) -> Self {
         assert!(n >= 2, "pairwise interactions need at least 2 processes");

@@ -1,8 +1,8 @@
 //! Compiled protocols: dense-index machines and flat rule tables.
 //!
-//! The interpreted [`RuleProtocol`](crate::RuleProtocol) is faithful to
+//! The interpreted [`RuleProtocol`] is faithful to
 //! the paper's listings but pays for that fidelity per interaction: its δ
-//! slots hold [`RuleRhs`](crate::RuleRhs) enums, and its `interact` runs
+//! slots hold [`RuleRhs`] enums, and its `interact` runs
 //! through the generic [`Machine`] interface with a `dyn Rng`. This module
 //! provides the lowered form the engines prefer:
 //!
@@ -189,7 +189,7 @@ impl EffectTable {
 
     /// Whether `can_affect` is symmetric in its node arguments over the
     /// whole domain. True for every machine honouring the
-    /// [`Machine`](crate::Machine) symmetry contract; the bucket engine
+    /// [`Machine`] symmetry contract; the bucket engine
     /// asserts it once at construction because its unordered active-edge
     /// list canonicalizes pair order.
     #[must_use]

@@ -49,6 +49,162 @@ pub fn geometric_skip(u01: f64, p: f64) -> f64 {
     (u01.ln() / (-p).ln_1p()).floor()
 }
 
+/// Survival function of the negative hypergeometric skip law: the
+/// probability that the first `t` draws of a uniform random permutation of
+/// `remaining` items, `hits` of them marked, are all unmarked.
+///
+/// `S(t) = ∏_{j=0}^{hits−1} (remaining − t − j)/(remaining − j)` — the
+/// `hits`-factor form (each of the `hits` marked items independently-ish
+/// avoids the length-`t` prefix), equal to the draw-by-draw product
+/// `∏_{i=0}^{t−1} (misses − i)/(remaining − i)` that the naive engine
+/// realizes one scheduler draw at a time.
+fn nh_survival(remaining: u64, hits: u64, t: u64) -> f64 {
+    if t > remaining - hits {
+        return 0.0;
+    }
+    let mut s = 1.0f64;
+    for j in 0..hits {
+        s *= (remaining - t - j) as f64 / (remaining - j) as f64;
+        if s == 0.0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Smallest `t` in `[lo, hi]` with `nh_survival(t + 1) < u01` (the
+/// survival function is non-increasing in `t`, so the predicate is
+/// monotone). The caller guarantees the answer lies in the window.
+fn nh_bisect(u01: f64, remaining: u64, hits: u64, lo: u64, hi: u64) -> u64 {
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if nh_survival(remaining, hits, mid + 1) < u01 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Inversion of the *negative hypergeometric* skip law used by
+/// [`RoundSim`](crate::RoundSim): drawing without replacement from
+/// `remaining` unscheduled pairs of which `hits` are candidates, the
+/// number of non-candidate draws before the first candidate, derived from
+/// one uniform `u ∈ (0, 1]`.
+///
+/// This is the within-round counterpart of [`geometric_skip`]: under the
+/// ShuffledRounds scheduler the rest of a round is a uniform permutation
+/// of the remaining pairs, so `P(skips ≥ t) = ∏_{i<t} (misses−i)/(remaining−i)`
+/// (hypergeometric counts instead of the i.i.d. `(1−p)^t`). Like its
+/// geometric sibling the law is self-similar under truncation — `t`
+/// failures leave a uniform permutation of `remaining − t` pairs with the
+/// same `hits` — so stopping mid-skip at a budget and resampling on
+/// resume is exact, which is what lets `run_to` pause anywhere.
+///
+/// The returned skip count never exceeds `remaining − hits` (a round
+/// cannot run out of candidates before its last candidate is drawn).
+/// Cost: `O(min(skips, hits·log remaining))` — a short sequential walk of
+/// the draw-by-draw product when the candidate set is dense, a bisection
+/// on the `hits`-factor survival form when it is sparse.
+///
+/// # Panics
+///
+/// Debug-asserts `1 ≤ hits ≤ remaining` and `u01 ∈ (0, 1]`.
+#[must_use]
+pub fn hypergeometric_skip(u01: f64, remaining: u64, hits: u64) -> u64 {
+    debug_assert!(hits >= 1 && hits <= remaining);
+    debug_assert!(u01 > 0.0 && u01 <= 1.0);
+    let misses = remaining - hits;
+    if misses == 0 {
+        return 0;
+    }
+    // The result is the smallest t with S(t+1) < u (the same bracketing
+    // convention as geometric_skip: S(t) ≥ u > S(t+1) ⇔ skips = t).
+    let expect = misses / (hits + 1) + 1;
+    if hits.saturating_mul(34) > expect.saturating_mul(4) {
+        // Dense candidate set: the expected skip count is tiny, so walk
+        // the draw-by-draw product. The cap bounds a pathological tail
+        // (probability ≲ e⁻³²) which falls through to the bisection.
+        let cap = expect.saturating_mul(32).min(misses);
+        let mut surv = 1.0f64;
+        for t in 0..cap {
+            surv *= (misses - t) as f64 / (remaining - t) as f64;
+            if surv < u01 {
+                return t;
+            }
+        }
+        if cap == misses {
+            // S(misses + 1) = 0 < u: the permutation is out of misses.
+            return misses;
+        }
+        nh_bisect(u01, remaining, hits, cap, misses)
+    } else {
+        nh_bisect(u01, remaining, hits, 0, misses)
+    }
+}
+
+/// Inversion of the hypergeometric *count* law: drawing `draws` items
+/// without replacement from `total` items of which `marked` are marked,
+/// the number of marked items drawn, derived from one uniform
+/// `u ∈ (0, 1]`.
+///
+/// [`RoundSim`](crate::RoundSim) uses it to split a batch of skipped
+/// ineffective draws between the explicitly-tracked resolved pairs and
+/// the anonymous unresolved pool: the skips are uniform without
+/// replacement over their union, so the split is exactly this law.
+///
+/// The probability table is built by ratio recurrences outward from the
+/// mode (whose unnormalized mass is pinned at 1, so nothing near the
+/// bulk under- or overflows), then inverted as the smallest `x` with
+/// `CDF(x) ≥ u`. Cost and transient memory are O(range) where
+/// `range = min(marked, draws, total − marked, total − draws)`.
+///
+/// # Panics
+///
+/// Debug-asserts `marked ≤ total`, `draws ≤ total`, and `u01 ∈ (0, 1]`.
+#[must_use]
+pub fn hypergeometric_count(u01: f64, marked: u64, total: u64, draws: u64) -> u64 {
+    debug_assert!(marked <= total && draws <= total);
+    debug_assert!(u01 > 0.0 && u01 <= 1.0);
+    let unmarked = total - marked;
+    let lo = draws.saturating_sub(unmarked);
+    let hi = marked.min(draws);
+    if lo == hi {
+        return lo;
+    }
+    // q(x+1)/q(x) for the pmf q(x) = C(marked, x)·C(unmarked, draws−x).
+    let ratio = |x: u64| -> f64 {
+        ((marked - x) as f64 * (draws - x) as f64)
+            / ((x + 1) as f64 * (unmarked + x + 1 - draws) as f64)
+    };
+    let mode = ((u128::from(draws + 1) * u128::from(marked + 1)) / u128::from(total + 2)) as u64;
+    let mode = mode.clamp(lo, hi);
+    let mut pmf = vec![0.0f64; (hi - lo + 1) as usize];
+    pmf[(mode - lo) as usize] = 1.0;
+    let mut q = 1.0f64;
+    for x in mode..hi {
+        q *= ratio(x);
+        pmf[(x + 1 - lo) as usize] = q;
+    }
+    q = 1.0;
+    for x in (lo..mode).rev() {
+        q /= ratio(x);
+        pmf[(x - lo) as usize] = q;
+    }
+    let z: f64 = pmf.iter().sum();
+    let target = u01 * z;
+    let mut cum = 0.0f64;
+    for (i, &p) in pmf.iter().enumerate() {
+        cum += p;
+        if cum >= target {
+            return lo + i as u64;
+        }
+    }
+    hi
+}
+
 /// The output graph of a configuration: active edges restricted to nodes
 /// in output states (`G(C)` in §3.1). Shared by both engines'
 /// `output_graph` methods.
@@ -218,6 +374,21 @@ impl PairSet {
         self.members
             .iter()
             .map(|&p| ((p >> 16) as usize, (p & 0xFFFF) as usize))
+    }
+
+    /// Removes every member in O(members) — the per-round reset of the
+    /// [`RoundSim`](crate::RoundSim) bookkeeping sets (the Θ(n²) position
+    /// matrix is only ever touched where members actually lived).
+    pub fn clear(&mut self) {
+        for i in 0..self.members.len() {
+            let packed = self.members[i];
+            let (u, v) = ((packed >> 16) as usize, (packed & 0xFFFF) as usize);
+            self.pos[u * self.n + v] = 0;
+            self.pos[v * self.n + u] = 0;
+            self.rows[u * self.row_words + v / 64] &= !(1u64 << (v % 64));
+            self.rows[v * self.row_words + u / 64] &= !(1u64 << (u % 64));
+        }
+        self.members.clear();
     }
 
     /// Bytes of heap memory held by this set (position matrix, membership
@@ -690,6 +861,126 @@ mod tests {
         }
         let from_iter: std::collections::HashSet<_> = s.iter().collect();
         assert_eq!(from_iter.len(), s.len());
+    }
+
+    #[test]
+    fn pair_set_clear_empties_everything() {
+        let mut s = PairSet::new(9);
+        for u in 0..9 {
+            for v in (u + 1)..9 {
+                if (u * v) % 3 == 0 {
+                    s.set(u, v, true);
+                }
+            }
+        }
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        for u in 0..9 {
+            for v in 0..9 {
+                if u != v {
+                    assert!(!s.contains(u, v), "({u},{v}) survived clear");
+                }
+            }
+        }
+        assert!(s.row_bits(4).iter().all(|&w| w == 0));
+        // The set is fully reusable after a clear.
+        s.set(2, 7, true);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), (2, 7));
+    }
+
+    /// Exact negative-hypergeometric survival by draw-by-draw rationals.
+    fn nh_survival_exact(remaining: u64, hits: u64, t: u64) -> f64 {
+        let misses = remaining - hits;
+        if t > misses {
+            return 0.0;
+        }
+        (0..t)
+            .map(|i| (misses - i) as f64 / (remaining - i) as f64)
+            .product()
+    }
+
+    #[test]
+    fn hypergeometric_skip_brackets_the_survival_function() {
+        // skip = t ⇔ S(t) ≥ u > S(t+1), for both the walk regime (dense
+        // hits) and the bisection regime (sparse hits).
+        for &(r, k) in &[(10u64, 1u64), (10, 5), (10, 9), (400, 2), (400, 300), (5000, 3)] {
+            for i in 0..200u64 {
+                let u = (i as f64 + 0.5) / 200.0;
+                let t = hypergeometric_skip(u, r, k);
+                assert!(t <= r - k);
+                let hi = nh_survival_exact(r, k, t);
+                let lo = nh_survival_exact(r, k, t + 1);
+                assert!(
+                    u <= hi * (1.0 + 1e-9) && u > lo * (1.0 - 1e-9),
+                    "r={r} k={k} u={u}: skip {t} outside bracket ({lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hypergeometric_skip_edge_cases() {
+        // All pairs are candidates: never skip.
+        assert_eq!(hypergeometric_skip(0.3, 7, 7), 0);
+        // u = 1 maps to zero skips (the geometric convention).
+        assert_eq!(hypergeometric_skip(1.0, 100, 1), 0);
+        // One candidate among many, u tiny: the round exhausts its misses
+        // and the skip count saturates at remaining − hits.
+        assert_eq!(hypergeometric_skip(1e-300, 50, 1), 49);
+        // Two remaining, one candidate: S(1) = 1/2 splits the unit draw.
+        assert_eq!(hypergeometric_skip(0.6, 2, 1), 0);
+        assert_eq!(hypergeometric_skip(0.4, 2, 1), 1);
+    }
+
+    /// Exact hypergeometric pmf via factorial ratios (small inputs).
+    fn hg_pmf_exact(marked: u64, total: u64, draws: u64, x: u64) -> f64 {
+        fn choose(n: u64, k: u64) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            (0..k).map(|i| (n - i) as f64 / (k - i) as f64).product()
+        }
+        choose(marked, x) * choose(total - marked, draws - x) / choose(total, draws)
+    }
+
+    #[test]
+    fn hypergeometric_count_inverts_the_cdf() {
+        for &(marked, total, draws) in
+            &[(3u64, 10u64, 4u64), (5, 12, 7), (1, 6, 5), (6, 9, 8), (4, 8, 4)]
+        {
+            for i in 0..400u64 {
+                let u = (i as f64 + 0.5) / 400.0;
+                let x = hypergeometric_count(u, marked, total, draws);
+                // x is the smallest value with CDF(x) ≥ u.
+                let cdf = |y: u64| -> f64 {
+                    (0..=y).map(|j| hg_pmf_exact(marked, total, draws, j)).sum()
+                };
+                assert!(
+                    cdf(x) >= u * (1.0 - 1e-9),
+                    "m={marked} t={total} d={draws} u={u}: CDF({x}) too small"
+                );
+                if x > draws.saturating_sub(total - marked) {
+                    assert!(
+                        cdf(x - 1) < u * (1.0 + 1e-9),
+                        "m={marked} t={total} d={draws} u={u}: {x} not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypergeometric_count_degenerate_ranges() {
+        // Everything must be drawn from the marked side.
+        assert_eq!(hypergeometric_count(0.5, 4, 4, 3), 3);
+        // No marked items at all.
+        assert_eq!(hypergeometric_count(0.5, 0, 9, 4), 0);
+        // Drawing the whole population takes every marked item.
+        assert_eq!(hypergeometric_count(0.5, 3, 7, 7), 3);
+        // draws > unmarked forces a lower bound above zero.
+        assert_eq!(hypergeometric_count(1e-12, 5, 8, 6), 3);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //!
 //! Construction requires an [`EnumerableMachine`] (dense state indices →
 //! precomputed effect table); [`EventSim::new_scanning`] accepts any
-//! [`Machine`](crate::Machine) and queries `can_affect` per pair instead,
+//! [`Machine`] and queries `can_affect` per pair instead,
 //! trading constant factors for generality — it relies only on the
 //! documented contract that `can_affect` never under-approximates.
 //!
@@ -145,6 +145,20 @@ impl<M: EnumerableMachine> EventSim<M> {
     /// # Panics
     ///
     /// Panics if `n < 2` or the machine has more than 65536 states.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netcon_core::{EventSim, Link, ProtocolBuilder};
+    /// let mut b = ProtocolBuilder::new("pairing");
+    /// let a = b.state("a");
+    /// let p = b.state("b");
+    /// b.rule((a, a, Link::Off), (p, p, Link::On));
+    /// let sim = EventSim::new(b.build()?.compile(), 64, 7);
+    /// assert_eq!(sim.steps(), 0);
+    /// assert_eq!(sim.effective_pairs(), 64 * 63 / 2); // all (a, a, 0) pairs
+    /// # Ok::<(), netcon_core::ProtocolError>(())
+    /// ```
     #[must_use]
     pub fn new(machine: M, n: usize, seed: u64) -> Self {
         let pop = Population::new(n, machine.initial_state());

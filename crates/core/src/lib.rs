@@ -38,9 +38,13 @@
 //! * [`bucket`] — [`BucketSim`], the sparse state-bucketed event engine:
 //!   the same distribution in O(n + |Q|²) memory, for populations the
 //!   dense pair set cannot touch (n ≥ 100 000);
-//! * [`select`] — [`Engine::auto`], which picks dense vs sparse by a
-//!   memory budget and runs predicates over a representation-neutral
-//!   [`EngineView`].
+//! * [`round`] — [`RoundSim`], the exact event-driven ShuffledRounds
+//!   engine: hypergeometric within-round skips plus lazily-resolved
+//!   skipped-pair identities, for experiments that measure parallel
+//!   time in rounds;
+//! * [`select`] — [`Engine::auto`] / [`Engine::auto_for`], which pick an
+//!   engine for a scheduler family by a memory budget and run predicates
+//!   over a representation-neutral [`EngineView`].
 //!
 //! # Choosing an engine
 //!
@@ -51,8 +55,12 @@
 //! uniform scheduler at a cost proportional to *effective* interactions
 //! (10–1000× fewer for the paper's constructors at interesting sizes).
 //! [`BucketSim`] trades a per-candidate rejection check for O(n + |Q|²)
-//! memory — the frontier engine beyond n ≈ 20 000. [`Engine::auto`]
-//! makes the dense/sparse call for you.
+//! memory — the frontier engine beyond n ≈ 20 000. [`RoundSim`] is the
+//! same idea for the [`ShuffledRounds`] box scheduler, where parallel
+//! time is measured in rounds. [`Engine::auto`] makes the dense/sparse
+//! call for you; [`Engine::auto_for`] adds the scheduler family. The
+//! top-level `docs/engines.md` consolidates the exactness arguments and
+//! the measured decision table.
 //!
 //! # Example: the spanning-star code from the introduction
 //!
@@ -76,7 +84,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
 mod machine;
@@ -86,6 +94,7 @@ mod state;
 pub mod bucket;
 pub mod compiled;
 pub mod event;
+pub mod round;
 pub mod rules;
 pub mod scheduler;
 pub mod seeds;
@@ -95,9 +104,12 @@ pub mod testing;
 
 pub use bucket::{BucketSim, SparsePop};
 pub use compiled::{CompiledTable, EffectTable, EnumerableMachine};
-pub use engine::{geometric_skip, unit_open01, PairSet};
+pub use engine::{
+    geometric_skip, hypergeometric_count, hypergeometric_skip, unit_open01, PairSet,
+};
 pub use event::{EventSim, EventStep};
-pub use select::{Engine, EngineView};
+pub use round::RoundSim;
+pub use select::{Engine, EngineView, SchedulerKind};
 pub use machine::Machine;
 pub use population::Population;
 pub use rules::{ProtocolBuilder, ProtocolError, Rule, RuleProtocol, RuleRhs};

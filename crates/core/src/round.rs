@@ -1,0 +1,952 @@
+//! The exact event-driven ShuffledRounds engine: skip the ineffective
+//! part of every round, simulate only the draws that can matter.
+//!
+//! [`ShuffledRounds`](crate::ShuffledRounds) plays every pair exactly
+//! once per round, in a fresh uniform permutation each round — the
+//! round-based regime in which parallel time is measured in *rounds*
+//! rather than draws. The naive [`Simulation`](crate::Simulation)
+//! realizes each round draw by draw (Θ(n²) per round, almost all of it
+//! ineffective); [`RoundSim`] reproduces the same distribution while
+//! paying only for the effective interactions plus O(n) maintenance each,
+//! like [`EventSim`](crate::EventSim) does for the uniform scheduler.
+//!
+//! # Exactness
+//!
+//! Drawing without replacement makes the uniform scheduler's geometric
+//! skip law inapplicable; two ideas replace it.
+//!
+//! 1. **Hypergeometric skips.** Mid-round, the rest of the round is a
+//!    uniform permutation of the `r` not-yet-scheduled pairs, `k` of
+//!    which are *candidates* (pairs whose states and link admit an
+//!    effective transition — states are frozen during ineffective draws,
+//!    so `k` is constant between candidates). The number of draws before
+//!    the next candidate is negative hypergeometric —
+//!    `P(skips ≥ t) = ∏_{i<t} (r−k−i)/(r−i)` — sampled in one inversion
+//!    draw by [`hypergeometric_skip`], and
+//!    the candidate itself is uniform among the `k` (independent of the
+//!    skip count, by permutation symmetry). When `k = 0` the rest of the
+//!    round is certainly ineffective and is consumed in one jump.
+//! 2. **Lazy identities.** Unlike the i.i.d. case, the *identities* of
+//!    skipped pairs matter: a pair already scheduled this round cannot
+//!    recur until the next round. Materializing them would cost Θ(n²)
+//!    per round again, so the engine keeps them latent: unscheduled
+//!    pairs are partitioned into the candidate set `A` (exact
+//!    [`PairSet`]), the *resolved* ineffective set `B` (pairs whose
+//!    effectiveness changed at some point this round — only pairs
+//!    incident to an applied interaction, O(n) per effective step), and
+//!    an anonymous pool `U` of never-touched ineffective pairs tracked
+//!    only by counts (`u_count` members, `u_rem` unscheduled). A skip
+//!    batch of `t` draws splits between `B` and `U` by the
+//!    hypergeometric count law
+//!    ([`hypergeometric_count`]); the `B`
+//!    casualties are removed uniformly (they are exchangeable), the `U`
+//!    casualties just decrement `u_rem`. When a pool pair later turns
+//!    effective, its scheduled-or-not status is *resolved on demand* by
+//!    one urn draw — `P(still unscheduled) = u_rem / u_count` — which is
+//!    exact because the scheduled subset of `U` is uniform (each batch
+//!    drew uniformly without replacement, and members of `U` are
+//!    indistinguishable by construction: all of them have been
+//!    ineffective at every draw so far this round).
+//!
+//! Conditioned on the history visible to the naive engine (the applied
+//! interactions and their positions), every quantity the engine samples —
+//! skip counts, candidate identities, batch splits, urn resolutions — has
+//! exactly the conditional law of the uniform-permutation rounds, so
+//! `steps`, `effective_steps`, `edge_events`, `converged_at` (in draws
+//! *and* in rounds) and the full configuration process are
+//! **distribution-identical** to `Simulation` under
+//! [`ShuffledRounds`](crate::ShuffledRounds), up to f64 rounding of the
+//! inversion draws. The paired statistical checks live in
+//! `tests/engine_equivalence.rs`; `docs/engines.md` consolidates the
+//! argument.
+//!
+//! The effective set itself is maintained by the same
+//! `Bookkeeping`/`EffectIndex` machinery as `EventSim` (word-parallel
+//! desired-row rescans); reclassification rides the XOR diff of the two
+//! touched [`PairSet`] rows. Pairs are presented to `interact` as
+//! `(min, max)` — the order the naive scheduler uses — which is why the
+//! engine, like [`BucketSim`](crate::BucketSim), requires `can_affect`
+//! to be symmetric in its node arguments.
+//!
+//! Memory: three dense [`PairSet`]s (candidates, resolved-ineffective,
+//! and the shared effective index) plus a scheduled-pair bitset —
+//! ≈ `13n²` bytes, about 3× [`EventSim`](crate::EventSim)
+//! ([`RoundSim::dense_mem_estimate`] is the a-priori figure the engine
+//! selector weighs). There is no sparse ShuffledRounds engine;
+//! [`Engine::auto_for`](crate::Engine::auto_for) falls back to the naive
+//! loop beyond the budget.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::compiled::EnumerableMachine;
+use crate::engine::{
+    hypergeometric_count, hypergeometric_skip, unit_open01, Bookkeeping, EffectIndex, PairSet,
+};
+use crate::event::EventStep;
+use crate::sim::{RunOutcome, StepResult};
+use crate::{Link, Population};
+
+/// Monomorphic indexed-interaction entry point captured from
+/// [`EnumerableMachine::interact_indexed`] at construction.
+type InteractFn<M> = fn(&M, usize, usize, Link, &mut SmallRng) -> Option<(usize, usize, Link)>;
+
+/// Membership bitset over unordered pairs (one canonical bit per pair)
+/// plus a member list for O(members) clearing: the round's
+/// known-scheduled set, which only ever needs insert / contains / clear.
+#[derive(Debug, Clone)]
+struct SchedSet {
+    row_words: usize,
+    bits: Vec<u64>,
+    members: Vec<u32>,
+}
+
+impl SchedSet {
+    fn new(n: usize) -> Self {
+        let row_words = n.div_ceil(64);
+        Self {
+            row_words,
+            bits: vec![0; n * row_words],
+            members: Vec::new(),
+        }
+    }
+
+    fn contains(&self, u: usize, v: usize) -> bool {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.bits[a * self.row_words + b / 64] >> (b % 64) & 1 == 1
+    }
+
+    fn insert(&mut self, u: usize, v: usize) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        debug_assert!(!self.contains(a, b));
+        self.bits[a * self.row_words + b / 64] |= 1u64 << (b % 64);
+        self.members.push((a as u32) << 16 | b as u32);
+    }
+
+    fn clear(&mut self) {
+        for &packed in &self.members {
+            let (a, b) = ((packed >> 16) as usize, (packed & 0xFFFF) as usize);
+            self.bits[a * self.row_words + b / 64] &= !(1u64 << (b % 64));
+        }
+        self.members.clear();
+    }
+
+    fn approx_mem_bytes(&self) -> u64 {
+        (self.bits.capacity() * 8 + self.members.capacity() * 4) as u64
+    }
+}
+
+/// An event-driven execution of a machine on a population under the
+/// [`ShuffledRounds`](crate::ShuffledRounds) scheduler.
+///
+/// Mirrors the [`EventSim`](crate::EventSim) API — [`advance`] returns
+/// the same [`EventStep`], `run_until` / `run_until_edges` / `run_to`
+/// have the same semantics — with identical output distribution to
+/// [`Simulation`](crate::Simulation) under `ShuffledRounds` (see the
+/// [module docs](self) for the exactness argument), plus round-level
+/// bookkeeping: [`rounds_completed`](Self::rounds_completed),
+/// [`round_of`](Self::round_of), and
+/// [`last_output_change_round`](Self::last_output_change_round) measure
+/// parallel time in rounds of `n(n−1)/2` draws.
+///
+/// [`advance`]: Self::advance
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::{Link, ProtocolBuilder, RoundSim};
+/// use netcon_graph::properties::is_maximum_matching;
+///
+/// let mut b = ProtocolBuilder::new("matching");
+/// let a = b.state("a");
+/// let m = b.state("b");
+/// b.rule((a, a, Link::Off), (m, m, Link::On));
+/// let protocol = b.build()?;
+///
+/// let mut sim = RoundSim::new(protocol, 30, 1);
+/// let outcome = sim.run_until(|p| is_maximum_matching(p.edges()), 1_000_000);
+/// assert!(outcome.stabilized());
+/// // Every pair occurs once per round, so the matching completes in
+/// // round 1: any two still-unmatched nodes would have matched when
+/// // their pair came up.
+/// assert_eq!(sim.last_output_change_round(), 1);
+/// assert!(sim.is_quiescent());
+/// # Ok::<(), netcon_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundSim<M: EnumerableMachine> {
+    machine: M,
+    pop: Population<M::State>,
+    rng: SmallRng,
+    book: Bookkeeping,
+    /// The exact effective set `E` for the current configuration,
+    /// maintained by the shared [`EffectIndex`].
+    pairs: PairSet,
+    index: EffectIndex<M>,
+    interact: InteractFn<M>,
+    state_at: fn(&M, usize) -> M::State,
+    /// `A`: effective and not yet scheduled this round.
+    cand: PairSet,
+    /// `B`: resolved, currently ineffective, not yet scheduled.
+    ineff_rem: PairSet,
+    /// `D`: resolved and scheduled this round.
+    sched: SchedSet,
+    /// Members of the anonymous pool `U` (resolved-nothing pairs).
+    u_count: u64,
+    /// Unscheduled members of `U`.
+    u_rem: u64,
+    /// Pairs per round, `n(n−1)/2`.
+    m: u64,
+    /// Scratch copies of the two touched `pairs` rows (pre-interaction),
+    /// diffed against the updated rows to find reclassification work.
+    old_row_u: Vec<u64>,
+    old_row_v: Vec<u64>,
+}
+
+impl<M: EnumerableMachine> RoundSim<M> {
+    /// Creates an event-driven ShuffledRounds simulation of `machine` on
+    /// `n` nodes in the initial configuration, reproducible from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `n > 65535` (dense pair ids are `u16`), the
+    /// machine has more than 65536 states, or the machine's `can_affect`
+    /// is not symmetric in its node arguments (a
+    /// [`Machine`](crate::Machine) contract violation; the scheduler
+    /// presents pairs in a fixed node order).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netcon_core::{Link, ProtocolBuilder, RoundSim};
+    /// let mut b = ProtocolBuilder::new("pairing");
+    /// let a = b.state("a");
+    /// let p = b.state("b");
+    /// b.rule((a, a, Link::Off), (p, p, Link::On));
+    /// let sim = RoundSim::new(b.build()?.compile(), 16, 7);
+    /// assert_eq!(sim.steps(), 0);
+    /// assert_eq!(sim.pairs_per_round(), 16 * 15 / 2);
+    /// # Ok::<(), netcon_core::ProtocolError>(())
+    /// ```
+    #[must_use]
+    pub fn new(machine: M, n: usize, seed: u64) -> Self {
+        let pop = Population::new(n, machine.initial_state());
+        Self::from_population(machine, pop, seed)
+    }
+
+    /// Creates an event-driven ShuffledRounds simulation from an explicit
+    /// configuration (one O(n²) effectiveness scan).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    #[must_use]
+    pub fn from_population(machine: M, pop: Population<M::State>, seed: u64) -> Self {
+        let n = pop.n();
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        assert!(
+            machine.num_states() <= usize::from(u16::MAX) + 1,
+            "RoundSim's dense index is u16: more than 65536 states"
+        );
+        let table = machine.effect_table();
+        assert!(
+            table.is_symmetric(),
+            "RoundSim requires can_affect to be symmetric in its node arguments"
+        );
+        let (index, pairs) =
+            EffectIndex::build(&machine, &pop, table, |m: &M, s: &M::State| m.state_index(s));
+        let m = (n as u64) * (n as u64 - 1) / 2;
+        let row_words = n.div_ceil(64);
+        let mut sim = Self {
+            machine,
+            pop,
+            rng: SmallRng::seed_from_u64(seed),
+            book: Bookkeeping::default(),
+            pairs,
+            index,
+            interact: |m: &M, a, b, link, rng: &mut SmallRng| m.interact_indexed(a, b, link, rng),
+            state_at: |m: &M, i: usize| m.state_at(i),
+            cand: PairSet::new(n),
+            ineff_rem: PairSet::new(n),
+            sched: SchedSet::new(n),
+            u_count: 0,
+            u_rem: 0,
+            m,
+            old_row_u: vec![0; row_words],
+            old_row_v: vec![0; row_words],
+        };
+        sim.reset_round();
+        sim
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn population(&self) -> &Population<M::State> {
+        &self.pop
+    }
+
+    /// The machine being executed.
+    #[must_use]
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Steps taken so far (including skipped ineffective draws).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.book.steps
+    }
+
+    /// Effective interactions so far.
+    #[must_use]
+    pub fn effective_steps(&self) -> u64 {
+        self.book.effective_steps
+    }
+
+    /// Edge activations/deactivations so far.
+    #[must_use]
+    pub fn edge_events(&self) -> u64 {
+        self.book.edge_events
+    }
+
+    /// The step of the most recent edge change (0 if none yet).
+    #[must_use]
+    pub fn last_output_change(&self) -> u64 {
+        self.book.last_output_change
+    }
+
+    /// The step of the most recent effective interaction (0 if none yet).
+    #[must_use]
+    pub fn last_effective(&self) -> u64 {
+        self.book.last_effective
+    }
+
+    /// The number of scheduler draws in one round: every unordered pair
+    /// exactly once, `n(n−1)/2`.
+    #[must_use]
+    pub fn pairs_per_round(&self) -> u64 {
+        self.m
+    }
+
+    /// Rounds completed so far, `steps / pairs_per_round()`.
+    #[must_use]
+    pub fn rounds_completed(&self) -> u64 {
+        self.book.steps / self.m
+    }
+
+    /// The 1-based round containing draw `step` (0 for `step = 0`): the
+    /// round-denominated reading of any step statistic.
+    #[must_use]
+    pub fn round_of(&self, step: u64) -> u64 {
+        step.div_ceil(self.m)
+    }
+
+    /// The round of the most recent edge change — `converged_at` in
+    /// rounds once a run stabilizes (0 if no edge ever changed).
+    #[must_use]
+    pub fn last_output_change_round(&self) -> u64 {
+        self.round_of(self.book.last_output_change)
+    }
+
+    /// The round of the most recent effective interaction (0 if none).
+    #[must_use]
+    pub fn last_effective_round(&self) -> u64 {
+        self.round_of(self.book.last_effective)
+    }
+
+    /// The number of currently effective pairs (scheduled or not).
+    #[must_use]
+    pub fn effective_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The number of effective pairs not yet scheduled this round — the
+    /// `hits` side of the next hypergeometric skip.
+    #[must_use]
+    pub fn unscheduled_candidates(&self) -> usize {
+        self.cand.len()
+    }
+
+    /// Bytes of heap memory held by the engine: the effective index and
+    /// its pair set, the two round-bookkeeping pair sets, the scheduled
+    /// bitset, the dense edge set, and the node states. Heap payloads
+    /// *inside* composite states are not counted.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        let states = (self.pop.n() * std::mem::size_of::<M::State>()) as u64;
+        self.pairs.approx_mem_bytes()
+            + self.cand.approx_mem_bytes()
+            + self.ineff_rem.approx_mem_bytes()
+            + self.sched.approx_mem_bytes()
+            + self.pop.edges().approx_mem_bytes()
+            + states
+            + self.index.approx_mem_bytes()
+            + ((self.old_row_u.capacity() + self.old_row_v.capacity()) * 8) as u64
+    }
+
+    /// A priori estimate of [`approx_mem_bytes`](Self::approx_mem_bytes)
+    /// for a fresh engine on `n` nodes — what
+    /// [`Engine::auto_for`](crate::Engine::auto_for) weighs against its
+    /// memory budget. Three dense pair sets (`4n²` position matrix plus
+    /// `n²/8` bitset each), the scheduled bitset (`n²/8`), and the edge
+    /// set (`3n²/16`): ≈ 3× the [`EventSim`](crate::EventSim) estimate.
+    #[must_use]
+    pub fn dense_mem_estimate(n: usize) -> u64 {
+        let n = n as u64;
+        3 * (4 * n * n + n * n / 8) + n * n / 8 + 3 * n * n / 16 + 32 * n
+    }
+
+    /// Whether no pair of nodes has any effective interaction — O(1):
+    /// the incrementally-maintained effective set is empty. Quiescence is
+    /// scheduler-independent, so this is the same predicate as
+    /// [`EventSim::is_quiescent`](crate::EventSim::is_quiescent).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The output graph: active edges restricted to nodes in output
+    /// states.
+    #[must_use]
+    pub fn output_graph(&self) -> netcon_graph::EdgeSet {
+        crate::engine::output_graph(&self.machine, &self.pop)
+    }
+
+    /// Starts a fresh round: every pair is unscheduled again, so the
+    /// candidate set is exactly the effective set and the anonymous pool
+    /// is its complement.
+    fn reset_round(&mut self) {
+        debug_assert_eq!(self.book.steps % self.m, 0);
+        self.cand.clear();
+        self.ineff_rem.clear();
+        self.sched.clear();
+        for (u, v) in self.pairs.iter() {
+            self.cand.set(u, v, true);
+        }
+        self.u_count = self.m - self.pairs.len() as u64;
+        self.u_rem = self.u_count;
+    }
+
+    /// Accounts for `t` skipped ineffective draws: splits them between
+    /// the resolved ineffective set and the anonymous pool by the
+    /// hypergeometric count law, removing the resolved casualties
+    /// uniformly (exchangeable) and decrementing the pool's unscheduled
+    /// count for the rest.
+    fn schedule_skips(&mut self, t: u64) {
+        if t == 0 {
+            return;
+        }
+        let b = self.ineff_rem.len() as u64;
+        debug_assert!(t <= b + self.u_rem);
+        let from_b = if b == 0 {
+            0
+        } else if t == b + self.u_rem {
+            b
+        } else {
+            hypergeometric_count(unit_open01(self.rng.next_u64()), b, b + self.u_rem, t)
+        };
+        for _ in 0..from_b {
+            let i = self.rng.random_range(0..self.ineff_rem.len());
+            let (u, v) = self.ineff_rem.get(i);
+            self.ineff_rem.set(u, v, false);
+            self.sched.insert(u, v);
+        }
+        self.u_rem -= t - from_b;
+    }
+
+    /// Reclassifies pair `{a, w}` after its effectiveness flipped to
+    /// `now_eff`. Scheduled pairs are frozen until the round resets;
+    /// anonymous-pool pairs are resolved by the urn draw.
+    fn reclass_pair(&mut self, a: usize, w: usize, now_eff: bool) {
+        if self.sched.contains(a, w) {
+            return;
+        }
+        if now_eff {
+            if self.ineff_rem.contains(a, w) {
+                self.ineff_rem.set(a, w, false);
+                self.cand.set(a, w, true);
+            } else {
+                // Fresh out of the anonymous pool: scheduled-or-not is
+                // settled now. The scheduled subset of the pool is
+                // uniform, so the marginal is u_rem / u_count.
+                debug_assert!(self.u_count > 0);
+                let unscheduled = self.rng.random_range(0..self.u_count) < self.u_rem;
+                self.u_count -= 1;
+                if unscheduled {
+                    self.u_rem -= 1;
+                    self.cand.set(a, w, true);
+                } else {
+                    self.sched.insert(a, w);
+                }
+            }
+        } else {
+            // An unscheduled pair can only lose effectiveness out of the
+            // candidate set (effective pairs are never anonymous).
+            debug_assert!(self.cand.contains(a, w));
+            self.cand.set(a, w, false);
+            self.ineff_rem.set(a, w, true);
+        }
+    }
+
+    /// Walks the XOR diff of node `a`'s effective-set row against its
+    /// pre-interaction copy, reclassifying every flipped pair. `skip`
+    /// masks out the partner handled by the other row.
+    fn reclass_row(&mut self, a: usize, old: &[u64], skip: Option<usize>) {
+        for word in 0..old.len() {
+            let mut changed = old[word] ^ self.pairs.row_bits(a)[word];
+            if let Some(s) = skip {
+                if s / 64 == word {
+                    changed &= !(1u64 << (s % 64));
+                }
+            }
+            while changed != 0 {
+                let bit = changed.trailing_zeros() as usize;
+                changed &= changed - 1;
+                let w = word * 64 + bit;
+                let now_eff = self.pairs.contains(a, w);
+                self.reclass_pair(a, w, now_eff);
+            }
+        }
+    }
+
+    /// Skips the hypergeometric number of ineffective draws and simulates
+    /// the next candidate interaction, without letting the step counter
+    /// pass `max_steps` — the same contract as
+    /// [`EventSim::advance`](crate::EventSim::advance).
+    pub fn advance(&mut self, max_steps: u64) -> EventStep {
+        if self.pairs.is_empty() {
+            return EventStep::Quiescent;
+        }
+        loop {
+            let remaining_budget = max_steps.saturating_sub(self.book.steps);
+            if remaining_budget == 0 {
+                return EventStep::BudgetExhausted;
+            }
+            let pos = self.book.steps % self.m;
+            let r = self.m - pos;
+            let k = self.cand.len() as u64;
+            if k == 0 {
+                // Every effective pair is already scheduled: the rest of
+                // the round is certainly ineffective.
+                if r >= remaining_budget {
+                    self.schedule_skips(remaining_budget);
+                    self.book.steps = max_steps;
+                    if self.book.steps.is_multiple_of(self.m) {
+                        self.reset_round();
+                    }
+                    return EventStep::BudgetExhausted;
+                }
+                self.book.steps += r;
+                self.reset_round();
+                continue;
+            }
+            let skipped = hypergeometric_skip(unit_open01(self.rng.next_u64()), r, k);
+            if skipped >= remaining_budget {
+                // The candidate lands past the budget; everything up to
+                // it is ineffective, and the skip law's self-similarity
+                // under truncation makes a later resume exact.
+                self.schedule_skips(remaining_budget);
+                self.book.steps = max_steps;
+                return EventStep::BudgetExhausted;
+            }
+            self.schedule_skips(skipped);
+            self.book.steps += skipped + 1;
+            return self.apply_candidate(skipped);
+        }
+    }
+
+    /// Draws the candidate uniformly, schedules it, and simulates its
+    /// interaction with real coins.
+    fn apply_candidate(&mut self, skipped: u64) -> EventStep {
+        let i = self.rng.random_range(0..self.cand.len());
+        // PairSet members are stored (min, max) — the node order the
+        // naive ShuffledRounds scheduler presents.
+        let (u, v) = self.cand.get(i);
+        self.cand.set(u, v, false);
+        self.sched.insert(u, v);
+        let pair = (u, v);
+        let link = Link::from(self.pop.edges().is_active(u, v));
+        let outcome = (self.interact)(
+            &self.machine,
+            self.index.state_index(u),
+            self.index.state_index(v),
+            link,
+            &mut self.rng,
+        );
+        let Some((a2, b2, l2)) = outcome else {
+            // A randomized rule sampled the identity: one real step, no
+            // change — but the pair has consumed its occurrence this
+            // round.
+            if self.book.steps.is_multiple_of(self.m) {
+                self.reset_round();
+            }
+            return EventStep::Candidate {
+                skipped,
+                result: StepResult::Ineffective { pair },
+            };
+        };
+        let edge_changed = l2 != link;
+        if edge_changed {
+            self.pop.edges_mut().set(u, v, l2.is_on());
+        }
+        self.pop
+            .set_state(u, (self.state_at)(&self.machine, a2));
+        self.pop
+            .set_state(v, (self.state_at)(&self.machine, b2));
+        self.book.record_effective(edge_changed);
+        // Snapshot the two touched effective-set rows, let the shared
+        // index rescan them, then reclassify exactly the flipped pairs.
+        self.old_row_u.copy_from_slice(self.pairs.row_bits(u));
+        self.old_row_v.copy_from_slice(self.pairs.row_bits(v));
+        self.index
+            .on_interaction(&self.machine, &self.pop, &mut self.pairs, u, v);
+        if self.book.steps.is_multiple_of(self.m) {
+            // The candidate was the round's last draw; the next round
+            // rebuilds everything from the effective set anyway.
+            self.reset_round();
+        } else {
+            let old_u = std::mem::take(&mut self.old_row_u);
+            let old_v = std::mem::take(&mut self.old_row_v);
+            self.reclass_row(u, &old_u, None);
+            self.reclass_row(v, &old_v, Some(u));
+            self.old_row_u = old_u;
+            self.old_row_v = old_v;
+        }
+        EventStep::Candidate {
+            skipped,
+            result: StepResult::Effective { pair, edge_changed },
+        }
+    }
+
+    /// Runs until `stable` holds or `max_steps` total steps have elapsed —
+    /// the ShuffledRounds counterpart of
+    /// [`EventSim::run_until`](crate::EventSim::run_until), with the same
+    /// predicate-evaluation points (initially and after every effective
+    /// interaction) and the same outcome distribution as the naive loop.
+    ///
+    /// If the configuration quiesces while `stable` is false, the naive
+    /// engine would idle through the rest of the budget; this engine
+    /// reports the exhausted budget immediately.
+    pub fn run_until(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.pop) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    self.book.steps = self.book.steps.max(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate { result, .. } => {
+                    if result.is_effective() && stable(&self.pop) {
+                        return self.book.stabilized_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`run_until`](Self::run_until) but only re-evaluates the
+    /// predicate when an edge changes. Correct (and faster) for
+    /// predicates that depend only on the output graph.
+    pub fn run_until_edges(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.pop) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    self.book.steps = self.book.steps.max(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate {
+                    result:
+                        StepResult::Effective {
+                            edge_changed: true, ..
+                        },
+                    ..
+                } => {
+                    if stable(&self.pop) {
+                        return self.book.stabilized_now();
+                    }
+                }
+                EventStep::Candidate { .. } => {}
+            }
+        }
+    }
+
+    /// Advances until the step counter reaches exactly `target` — the
+    /// negative hypergeometric law is self-similar under truncation
+    /// (see [`hypergeometric_skip`]), so
+    /// stopping and resuming mid-skip is exact.
+    pub fn run_to(&mut self, target: u64) {
+        while self.book.steps < target {
+            match self.advance(target) {
+                EventStep::Quiescent => {
+                    self.book.steps = target;
+                    return;
+                }
+                EventStep::BudgetExhausted => return,
+                EventStep::Candidate { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProtocolBuilder, RuleProtocol, ShuffledRounds, Simulation};
+    use netcon_graph::properties::is_maximum_matching;
+
+    const OFF: Link = Link::Off;
+    const ON: Link = Link::On;
+
+    fn matching_protocol() -> RuleProtocol {
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, OFF), (m, m, ON));
+        b.build().expect("valid")
+    }
+
+    /// Match in one round, dissolve each matched edge at its next
+    /// occurrence: converges in exactly two rounds under any box
+    /// schedule (see the workspace-level regression test).
+    fn dissolve_protocol() -> RuleProtocol {
+        let mut b = ProtocolBuilder::new("dissolve");
+        let a = b.state("a");
+        let m = b.state("b");
+        let d = b.state("c");
+        b.rule((a, a, OFF), (m, m, ON));
+        b.rule((m, m, ON), (d, d, OFF));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn matching_converges_in_round_one() {
+        for seed in 0..20 {
+            let mut sim = RoundSim::new(matching_protocol(), 20, seed);
+            let out = sim.run_until_edges(|p| is_maximum_matching(p.edges()), 10_000);
+            assert!(out.stabilized(), "seed {seed}: {out:?}");
+            // Every (a, a) pair occurs within round 1, so no two nodes
+            // can both survive it unmatched.
+            assert!(sim.steps() <= sim.pairs_per_round(), "seed {seed}");
+            assert_eq!(sim.last_output_change_round(), 1, "seed {seed}");
+            assert_eq!(sim.effective_steps(), 10);
+            assert!(sim.is_quiescent());
+        }
+    }
+
+    #[test]
+    fn dissolve_takes_exactly_two_rounds() {
+        // n even: round 1 matches everyone (any two unmatched nodes
+        // would have matched when their pair came up), and each matched
+        // pair recurs exactly once in round 2, where it dissolves. The
+        // convergence round is therefore deterministically 2.
+        let p = dissolve_protocol();
+        let d = p.state("c").expect("dissolved state exists");
+        for seed in 0..20 {
+            let mut sim = RoundSim::new(p.clone(), 12, 100 + seed);
+            let out = sim.run_until_edges(
+                |q| q.count_where(|s| *s == d) == q.n() && q.edges().active_count() == 0,
+                200_000,
+            );
+            assert!(out.stabilized(), "seed {seed}: {out:?}");
+            let converged = out.converged_at().expect("stabilized");
+            assert_eq!(sim.round_of(converged), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = RoundSim::new(matching_protocol(), 16, seed);
+            let out = sim.run_until_edges(|p| is_maximum_matching(p.edges()), 100_000);
+            (out, sim.steps(), sim.edge_events(), sim.rounds_completed())
+        };
+        assert_eq!(run(9), run(9));
+        assert!(run(9).0.stabilized());
+    }
+
+    #[test]
+    fn compiled_and_interpreted_agree_step_for_step() {
+        let p = matching_protocol();
+        let mut a = RoundSim::new(p.clone(), 15, 31);
+        let mut b = RoundSim::new(p.compile(), 15, 31);
+        loop {
+            let (ra, rb) = (a.advance(u64::MAX), b.advance(u64::MAX));
+            assert_eq!(ra, rb);
+            assert_eq!(a.steps(), b.steps());
+            if ra == EventStep::Quiescent {
+                break;
+            }
+        }
+        assert_eq!(a.population(), b.population());
+    }
+
+    #[test]
+    fn budget_is_respected_exactly_and_resumes() {
+        let mut sim = RoundSim::new(matching_protocol(), 50, 3);
+        let out = sim.run_until(|_| false, 1_000);
+        assert_eq!(out, RunOutcome::MaxSteps { steps: 1_000 });
+        assert_eq!(sim.steps(), 1_000);
+        // Resume mid-round: the skip law is self-similar, the run goes on.
+        sim.run_to(2_000);
+        assert_eq!(sim.steps(), 2_000);
+        let out = sim.run_until_edges(|p| is_maximum_matching(p.edges()), u64::MAX);
+        assert!(out.stabilized());
+    }
+
+    #[test]
+    fn quiescent_unstable_returns_budget_immediately() {
+        let mut b = ProtocolBuilder::new("inert");
+        let _ = b.state("a");
+        let p = b.build().expect("valid");
+        let mut sim = RoundSim::new(p, 8, 0);
+        let out = sim.run_until(|_| false, u64::MAX);
+        assert_eq!(out, RunOutcome::MaxSteps { steps: u64::MAX });
+    }
+
+    #[test]
+    fn quiescence_after_convergence_jumps_to_target() {
+        let mut sim = RoundSim::new(matching_protocol(), 10, 5);
+        sim.run_until_edges(|p| is_maximum_matching(p.edges()), u64::MAX);
+        let done = sim.steps();
+        sim.run_to(done + 1_000_000);
+        assert_eq!(sim.steps(), done + 1_000_000);
+        assert_eq!(sim.effective_steps(), 5);
+    }
+
+    #[test]
+    fn round_bookkeeping_is_consistent() {
+        let mut sim = RoundSim::new(dissolve_protocol(), 10, 77);
+        let m = sim.pairs_per_round();
+        assert_eq!(m, 45);
+        sim.run_to(3 * m + 7);
+        assert_eq!(sim.rounds_completed(), 3);
+        assert_eq!(sim.round_of(0), 0);
+        assert_eq!(sim.round_of(1), 1);
+        assert_eq!(sim.round_of(m), 1);
+        assert_eq!(sim.round_of(m + 1), 2);
+        assert!(sim.last_output_change_round() <= sim.round_of(sim.steps()));
+    }
+
+    #[test]
+    fn tracks_naive_shuffled_engine_on_average() {
+        // Cheap smoke check of the exactness argument (the full paired
+        // statistical tests live in the workspace-level suite). The
+        // matching time concentrates inside round 1, so compare mean
+        // converged_at between RoundSim and the naive ShuffledRounds
+        // loop.
+        let trials = 60;
+        let mean = |round: bool| -> f64 {
+            (0..trials)
+                .map(|seed| {
+                    let stable =
+                        |p: &Population<crate::StateId>| is_maximum_matching(p.edges());
+                    let out = if round {
+                        RoundSim::new(matching_protocol(), 12, 1000 + seed)
+                            .run_until_edges(stable, u64::MAX)
+                    } else {
+                        Simulation::with_scheduler(
+                            matching_protocol(),
+                            12,
+                            2000 + seed,
+                            ShuffledRounds::new(),
+                        )
+                        .run_until_edges(stable, u64::MAX)
+                    };
+                    out.converged_at().expect("stabilizes") as f64
+                })
+                .sum::<f64>()
+                / f64::from(trials as u32)
+        };
+        let (r, n) = (mean(true), mean(false));
+        assert!(
+            (r - n).abs() / n < 0.35,
+            "round {r:.1} vs naive-shuffled {n:.1} means too far apart"
+        );
+    }
+
+    #[test]
+    fn randomized_identity_candidates_count_as_real_steps() {
+        // (a, b, 0) → ½ identity, ½ swap: candidates may resolve
+        // ineffective; each consumes its occurrence in the round.
+        let mut b = ProtocolBuilder::new("lazy-swap");
+        let a = b.state("a");
+        let c = b.state("b");
+        b.initial(a);
+        b.rule_random((a, c, OFF), [(1, (a, c, OFF)), (1, (c, a, OFF))]);
+        let p = b.build().expect("valid");
+        let mut pop = Population::new(4, a);
+        pop.set_state(0, c);
+        let mut sim = RoundSim::from_population(p, pop, 11);
+        let mut saw_ineffective = false;
+        for _ in 0..200 {
+            match sim.advance(u64::MAX) {
+                EventStep::Candidate {
+                    result: StepResult::Ineffective { .. },
+                    ..
+                } => saw_ineffective = true,
+                EventStep::Quiescent => panic!("lazy-swap never quiesces"),
+                _ => {}
+            }
+        }
+        assert!(saw_ineffective, "identity branch should occur in 200 draws");
+        assert!(sim.steps() >= 200);
+    }
+
+    #[test]
+    fn initial_configuration_can_be_stable() {
+        let mut sim = RoundSim::new(matching_protocol(), 6, 2);
+        let out = sim.run_until(|_| true, 10);
+        assert_eq!(
+            out,
+            RunOutcome::Stabilized {
+                detected_at: 0,
+                converged_at: 0,
+                last_effective: 0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let _ = RoundSim::new(matching_protocol(), 1, 0);
+    }
+
+    #[test]
+    fn mem_estimate_tracks_measured() {
+        let sim = RoundSim::new(matching_protocol(), 128, 0);
+        let measured = sim.approx_mem_bytes();
+        let estimate = RoundSim::<RuleProtocol>::dense_mem_estimate(128);
+        assert!(
+            measured <= estimate * 2 && estimate <= measured * 2,
+            "estimate {estimate} vs measured {measured}"
+        );
+    }
+}

@@ -106,6 +106,11 @@ impl Scheduler for RoundRobin {
 /// a round while keeping long-run statistics uniform, which makes it a
 /// useful robustness check: a protocol whose correctness silently relied
 /// on the uniform scheduler's independence tends to misbehave here.
+///
+/// For measurement (rather than adversarial stepping), prefer
+/// [`RoundSim`](crate::RoundSim): it reproduces this scheduler's output
+/// distribution exactly — including round-denominated convergence
+/// times — while skipping the ineffective bulk of every round.
 #[derive(Debug, Clone, Default)]
 pub struct ShuffledRounds {
     order: Vec<(u32, u32)>,

@@ -38,7 +38,7 @@ pub fn derive(base: u64, stream: u64) -> u64 {
 /// the canonical derivation for two-dimensional sweeps (population size
 /// × trial index), shared by `netcon-analysis` and the bench harness.
 ///
-/// Equivalent to chaining [`derive`]: the first coordinate re-keys the
+/// Equivalent to chaining [`derive`](fn@derive): the first coordinate re-keys the
 /// base, the second selects the stream.
 ///
 /// # Example

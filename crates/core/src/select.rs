@@ -1,29 +1,57 @@
-//! Engine selection: one entry point that picks the dense event engine
-//! or the sparse bucket engine by a memory budget.
+//! Engine selection: one entry point that picks an exact engine for a
+//! scheduler family by a memory budget.
 //!
-//! [`EventSim`](crate::EventSim) is the fastest exact engine per
-//! effective interaction but holds Θ(n²) bytes; [`BucketSim`] holds
-//! O(n + |Q|²) and pays a (usually tiny) rejection overhead instead.
-//! Both produce identically-distributed executions, so the only question
-//! is whether the dense structures fit: [`Engine::auto`] answers it with
-//! [`EventSim::dense_mem_estimate`] against a budget
-//! (`NETCON_ENGINE_MEM_BUDGET` bytes, default 512 MiB), falling back to
-//! the sparse engine beyond it — or beyond the dense pair set's
-//! `n ≤ 65535` id range, whatever the budget says.
+//! For the **uniform** scheduler, [`EventSim`] is the
+//! fastest exact engine per effective interaction but holds Θ(n²) bytes;
+//! [`BucketSim`] holds O(n + |Q|²) and pays a (usually tiny) rejection
+//! overhead instead. Both produce identically-distributed executions, so
+//! the only question is whether the dense structures fit:
+//! [`Engine::auto`] answers it with [`EventSim::dense_mem_estimate`]
+//! against a budget (`NETCON_ENGINE_MEM_BUDGET` bytes, default 512 MiB),
+//! falling back to the sparse engine beyond it — or beyond the dense
+//! pair set's `n ≤ 65535` id range, whatever the budget says.
+//!
+//! For the **ShuffledRounds** scheduler, [`Engine::auto_for`] routes to
+//! the event-driven [`RoundSim`] while its (≈ 3× dense)
+//! structures fit the same budget, and beyond that to the naive
+//! round-playing [`Simulation`] — there is no sparse
+//! round engine yet, so the fallback is slow but exact.
 //!
 //! Stability predicates run against an [`EngineView`], which exposes the
-//! configuration queries both engines can answer without materializing
+//! configuration queries every engine can answer without materializing
 //! anything dense.
 
 use crate::bucket::{BucketSim, SparsePop};
 use crate::compiled::EnumerableMachine;
 use crate::event::EventSim;
-use crate::sim::RunOutcome;
+use crate::round::RoundSim;
+use crate::scheduler::ShuffledRounds;
+use crate::sim::{RunOutcome, Simulation};
 use crate::Population;
 
 /// Default dense-engine memory budget: 512 MiB keeps the dense engine up
 /// to n ≈ 11 000 and the CI box comfortable.
 const DEFAULT_MEM_BUDGET: u64 = 512 << 20;
+
+/// The scheduler family an auto-selected engine must reproduce.
+///
+/// Every engine the selector can pick is distribution-identical to the
+/// naive [`Simulation`] *under its scheduler*; the
+/// two families' running-time distributions differ (that difference is
+/// exactly what round-based experiments measure), so the family is an
+/// input to selection, not something the budget can trade away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The uniform random scheduler (§3.1) — the paper's running-time
+    /// model. Routed to [`EventSim`] or
+    /// [`BucketSim`].
+    #[default]
+    Uniform,
+    /// The [`ShuffledRounds`] box scheduler —
+    /// every pair once per round, rounds as parallel time. Routed to
+    /// [`RoundSim`] or the naive loop.
+    ShuffledRounds,
+}
 
 /// The configuration view a selected engine hands to stability
 /// predicates: whatever the engine's representation, the same queries
@@ -138,15 +166,18 @@ impl<M: EnumerableMachine> EngineView<'_, M> {
     }
 }
 
-/// An exact uniform-scheduler engine chosen by memory budget: the dense
-/// [`EventSim`] when its Θ(n²) structures fit, the sparse [`BucketSim`]
-/// beyond that. Both arms have identical output distribution, so the
-/// choice is invisible to measurements.
+/// An exact engine chosen by scheduler family and memory budget: under
+/// [`SchedulerKind::Uniform`] the dense [`EventSim`] when its Θ(n²)
+/// structures fit and the sparse [`BucketSim`] beyond; under
+/// [`SchedulerKind::ShuffledRounds`] the event-driven [`RoundSim`] when
+/// its (≈ 3× dense) structures fit and the naive round-playing loop
+/// beyond. Within a family every arm has identical output distribution,
+/// so the choice is invisible to measurements.
 ///
 /// # Example
 ///
 /// ```
-/// use netcon_core::{Engine, Link, ProtocolBuilder};
+/// use netcon_core::{Engine, Link, ProtocolBuilder, SchedulerKind};
 ///
 /// let mut b = ProtocolBuilder::new("matching");
 /// let a = b.state("a");
@@ -161,48 +192,115 @@ impl<M: EnumerableMachine> EngineView<'_, M> {
 /// assert!(out.stabilized());
 ///
 /// // Tiny budget: the selector goes sparse, the run is equivalent.
-/// let mut eng = Engine::with_budget(protocol, 100, 1, 1024);
+/// let mut eng = Engine::with_budget(protocol.clone(), 100, 1, 1024);
 /// assert!(eng.is_sparse());
+/// assert!(eng.run_until(|v| v.active_count() == 50, 10_000_000).stabilized());
+///
+/// // Round-based sweeps route by the same budget to the round engine.
+/// let mut eng = Engine::auto_for(protocol, 100, 1, SchedulerKind::ShuffledRounds);
+/// assert_eq!(eng.kind(), "round-dense");
 /// assert!(eng.run_until(|v| v.active_count() == 50, 10_000_000).stabilized());
 /// # Ok::<(), netcon_core::ProtocolError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub enum Engine<M: EnumerableMachine + Clone> {
-    /// The dense event engine.
+    /// The dense event engine (uniform scheduler).
     Dense {
         /// The engine.
         sim: Box<EventSim<M>>,
         /// A machine copy the view borrows during runs.
         machine: M,
     },
-    /// The sparse bucket engine.
+    /// The sparse bucket engine (uniform scheduler).
     Sparse {
         /// The engine.
         sim: Box<BucketSim<M>>,
         /// A machine copy the view borrows during runs.
         machine: M,
     },
+    /// The event-driven round engine (ShuffledRounds scheduler).
+    Round {
+        /// The engine.
+        sim: Box<RoundSim<M>>,
+        /// A machine copy the view borrows during runs.
+        machine: M,
+    },
+    /// The naive round-playing fallback (ShuffledRounds beyond the
+    /// budget): exact but Θ(n²) work per round.
+    RoundNaive {
+        /// The engine.
+        sim: Box<Simulation<M, ShuffledRounds>>,
+        /// A machine copy the view borrows during runs.
+        machine: M,
+    },
 }
 
 impl<M: EnumerableMachine + Clone> Engine<M> {
-    /// Selects an engine for `n` nodes under the default memory budget
-    /// (`NETCON_ENGINE_MEM_BUDGET` bytes if set, else 512 MiB) and
-    /// constructs it in the initial configuration.
+    /// Selects a uniform-scheduler engine for `n` nodes under the default
+    /// memory budget (`NETCON_ENGINE_MEM_BUDGET` bytes if set, else
+    /// 512 MiB) and constructs it in the initial configuration.
+    /// Shorthand for [`auto_for`](Self::auto_for) with
+    /// [`SchedulerKind::Uniform`].
     #[must_use]
     pub fn auto(machine: M, n: usize, seed: u64) -> Self {
         Self::with_budget(machine, n, seed, Self::default_budget())
     }
 
+    /// Selects an engine reproducing `scheduler` for `n` nodes under the
+    /// default memory budget and constructs it in the initial
+    /// configuration.
+    #[must_use]
+    pub fn auto_for(machine: M, n: usize, seed: u64, scheduler: SchedulerKind) -> Self {
+        Self::with_budget_for(machine, n, seed, Self::default_budget(), scheduler)
+    }
+
     /// Selects by an explicit budget: dense iff the dense estimate fits
     /// `budget_bytes` *and* `n` fits the dense pair set's `u16` node ids.
+    /// Shorthand for [`with_budget_for`](Self::with_budget_for) with
+    /// [`SchedulerKind::Uniform`].
     #[must_use]
     pub fn with_budget(machine: M, n: usize, seed: u64, budget_bytes: u64) -> Self {
-        if n <= usize::from(u16::MAX) && EventSim::<M>::dense_mem_estimate(n) <= budget_bytes {
-            let sim = Box::new(EventSim::new(machine.clone(), n, seed));
-            Engine::Dense { sim, machine }
-        } else {
-            let sim = Box::new(BucketSim::new(machine.clone(), n, seed));
-            Engine::Sparse { sim, machine }
+        Self::with_budget_for(machine, n, seed, budget_bytes, SchedulerKind::Uniform)
+    }
+
+    /// Selects by an explicit budget within the given scheduler family:
+    /// the event-driven engine whose a-priori memory estimate fits
+    /// `budget_bytes` (and whose pair ids fit `n ≤ 65535`), else the
+    /// family's fallback — [`BucketSim`] for uniform, the naive loop for
+    /// ShuffledRounds.
+    #[must_use]
+    pub fn with_budget_for(
+        machine: M,
+        n: usize,
+        seed: u64,
+        budget_bytes: u64,
+        scheduler: SchedulerKind,
+    ) -> Self {
+        let dense_ok = |estimate: u64| n <= usize::from(u16::MAX) && estimate <= budget_bytes;
+        match scheduler {
+            SchedulerKind::Uniform => {
+                if dense_ok(EventSim::<M>::dense_mem_estimate(n)) {
+                    let sim = Box::new(EventSim::new(machine.clone(), n, seed));
+                    Engine::Dense { sim, machine }
+                } else {
+                    let sim = Box::new(BucketSim::new(machine.clone(), n, seed));
+                    Engine::Sparse { sim, machine }
+                }
+            }
+            SchedulerKind::ShuffledRounds => {
+                if dense_ok(RoundSim::<M>::dense_mem_estimate(n)) {
+                    let sim = Box::new(RoundSim::new(machine.clone(), n, seed));
+                    Engine::Round { sim, machine }
+                } else {
+                    let sim = Box::new(Simulation::with_scheduler(
+                        machine.clone(),
+                        n,
+                        seed,
+                        ShuffledRounds::new(),
+                    ));
+                    Engine::RoundNaive { sim, machine }
+                }
+            }
         }
     }
 
@@ -222,12 +320,24 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         matches!(self, Engine::Sparse { .. })
     }
 
-    /// `"event-dense"` or `"bucket-sparse"`, for bench records.
+    /// The scheduler family the selected engine reproduces.
+    #[must_use]
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self {
+            Engine::Dense { .. } | Engine::Sparse { .. } => SchedulerKind::Uniform,
+            Engine::Round { .. } | Engine::RoundNaive { .. } => SchedulerKind::ShuffledRounds,
+        }
+    }
+
+    /// `"event-dense"`, `"bucket-sparse"`, `"round-dense"`, or
+    /// `"round-naive"`, for bench records.
     #[must_use]
     pub fn kind(&self) -> &'static str {
         match self {
             Engine::Dense { .. } => "event-dense",
             Engine::Sparse { .. } => "bucket-sparse",
+            Engine::Round { .. } => "round-dense",
+            Engine::RoundNaive { .. } => "round-naive",
         }
     }
 
@@ -237,6 +347,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         match self {
             Engine::Dense { sim, .. } => sim.steps(),
             Engine::Sparse { sim, .. } => sim.steps(),
+            Engine::Round { sim, .. } => sim.steps(),
+            Engine::RoundNaive { sim, .. } => sim.steps(),
         }
     }
 
@@ -246,6 +358,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         match self {
             Engine::Dense { sim, .. } => sim.effective_steps(),
             Engine::Sparse { sim, .. } => sim.effective_steps(),
+            Engine::Round { sim, .. } => sim.effective_steps(),
+            Engine::RoundNaive { sim, .. } => sim.effective_steps(),
         }
     }
 
@@ -255,6 +369,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         match self {
             Engine::Dense { sim, .. } => sim.edge_events(),
             Engine::Sparse { sim, .. } => sim.edge_events(),
+            Engine::Round { sim, .. } => sim.edge_events(),
+            Engine::RoundNaive { sim, .. } => sim.edge_events(),
         }
     }
 
@@ -264,12 +380,14 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         match self {
             Engine::Dense { sim, .. } => sim.approx_mem_bytes(),
             Engine::Sparse { sim, .. } => sim.approx_mem_bytes(),
+            Engine::Round { sim, .. } => sim.approx_mem_bytes(),
+            Engine::RoundNaive { sim, .. } => sim.approx_mem_bytes(),
         }
     }
 
     /// Runs until `stable` holds over the engine's view or `max_steps`
     /// total steps have elapsed — the selected engine's `run_until`, with
-    /// identical semantics on both arms.
+    /// identical semantics on every arm.
     pub fn run_until(
         &mut self,
         mut stable: impl FnMut(&EngineView<'_, M>) -> bool,
@@ -281,6 +399,12 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             }
             Engine::Sparse { sim, machine } => {
                 sim.run_until(|sp| stable(&EngineView::Sparse { sp, machine }), max_steps)
+            }
+            Engine::Round { sim, machine } => {
+                sim.run_until(|pop| stable(&EngineView::Dense { pop, machine }), max_steps)
+            }
+            Engine::RoundNaive { sim, machine } => {
+                sim.run_until(|pop| stable(&EngineView::Dense { pop, machine }), max_steps)
             }
         }
     }
@@ -298,6 +422,10 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Sparse { sim, machine } => {
                 sim.run_until_edges(|sp| stable(&EngineView::Sparse { sp, machine }), max_steps)
             }
+            Engine::Round { sim, machine } => sim
+                .run_until_edges(|pop| stable(&EngineView::Dense { pop, machine }), max_steps),
+            Engine::RoundNaive { sim, machine } => sim
+                .run_until_edges(|pop| stable(&EngineView::Dense { pop, machine }), max_steps),
         }
     }
 
@@ -306,6 +434,11 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         match self {
             Engine::Dense { sim, .. } => sim.run_to(target),
             Engine::Sparse { sim, .. } => sim.run_to(target),
+            Engine::Round { sim, .. } => sim.run_to(target),
+            Engine::RoundNaive { sim, .. } => {
+                let remaining = target.saturating_sub(sim.steps());
+                sim.run_for(remaining);
+            }
         }
     }
 
@@ -315,6 +448,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         match self {
             Engine::Dense { sim, .. } => sim.population().clone(),
             Engine::Sparse { sim, .. } => sim.to_population(),
+            Engine::Round { sim, .. } => sim.population().clone(),
+            Engine::RoundNaive { sim, .. } => sim.population().clone(),
         }
     }
 }
@@ -330,6 +465,38 @@ mod tests {
         let m = b.state("b");
         b.rule((a, a, Link::Off), (m, m, Link::On));
         b.build().expect("valid").compile()
+    }
+
+    #[test]
+    fn scheduler_kind_routes_round_engines() {
+        let round = Engine::with_budget_for(matching(), 30, 1, u64::MAX, SchedulerKind::ShuffledRounds);
+        assert_eq!(round.kind(), "round-dense");
+        assert_eq!(round.scheduler(), SchedulerKind::ShuffledRounds);
+        let naive = Engine::with_budget_for(matching(), 30, 1, 1, SchedulerKind::ShuffledRounds);
+        assert_eq!(naive.kind(), "round-naive");
+        assert_eq!(naive.scheduler(), SchedulerKind::ShuffledRounds);
+        assert_eq!(
+            Engine::auto(matching(), 30, 1).scheduler(),
+            SchedulerKind::Uniform
+        );
+    }
+
+    #[test]
+    fn round_arms_run_the_same_protocol() {
+        // A perfect matching completes within round 1 under any box
+        // schedule, on both the event-driven and the naive arm.
+        let m = 30 * 29 / 2;
+        for budget in [u64::MAX, 1] {
+            let mut eng =
+                Engine::with_budget_for(matching(), 30, 5, budget, SchedulerKind::ShuffledRounds);
+            let out = eng.run_until_edges(|v| v.active_count() == 15, u64::MAX);
+            assert!(out.stabilized(), "budget {budget}: {out:?}");
+            assert!(out.converged_at().expect("stabilized") <= m);
+            assert_eq!(eng.effective_steps(), 15);
+            let pop = eng.to_population();
+            assert!(netcon_graph::properties::is_maximum_matching(pop.edges()));
+            assert!(eng.approx_mem_bytes() > 0);
+        }
     }
 
     #[test]

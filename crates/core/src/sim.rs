@@ -137,6 +137,20 @@ impl<M: Machine> Simulation<M, Uniform> {
     /// # Panics
     ///
     /// Panics if `n < 2` (pairwise interactions need two processes).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netcon_core::{Link, ProtocolBuilder, Simulation};
+    /// let mut b = ProtocolBuilder::new("pairing");
+    /// let a = b.state("a");
+    /// let p = b.state("b");
+    /// b.rule((a, a, Link::Off), (p, p, Link::On));
+    /// let mut sim = Simulation::new(b.build()?, 8, 7);
+    /// sim.run_for(100);
+    /// assert_eq!(sim.steps(), 100); // the naive loop pays for every draw
+    /// # Ok::<(), netcon_core::ProtocolError>(())
+    /// ```
     #[must_use]
     pub fn new(machine: M, n: usize, seed: u64) -> Self {
         Self::with_scheduler(machine, n, seed, Uniform)

@@ -29,9 +29,10 @@
 //! assert!(is_spanning_star(sim.population().edges()));
 //! ```
 //!
-//! For measurement-grade runs, compile the protocol and use the exact
+//! For measurement-grade runs, compile the protocol and use an exact
 //! event-driven engine — identical output distribution, cost proportional
-//! to *effective* interactions only:
+//! to *effective* interactions only (`docs/engines.md` catalogues all
+//! four engines and their exactness arguments):
 //!
 //! ```
 //! use netcon::core::EventSim;

@@ -1,28 +1,38 @@
-//! Paired-trial statistical equivalence of the three engines.
+//! Paired-trial statistical equivalence of the four engines.
 //!
-//! `EventSim` and `BucketSim` are exact by construction: their
-//! `converged_at` / step-count distributions equal `Simulation`'s under
-//! the uniform scheduler (`EventSim` skips the draws outside the exact
-//! effective set; `BucketSim` skips the draws outside a state-bucketed
-//! superset and rejects the difference — see `netcon_core::bucket`).
-//! These tests check the claims empirically with thousands of
-//! independent trials per engine per workload (disjoint seed streams,
-//! Welch z on the means, ratio bound on the variances), all pairwise.
-//! Seeds are fixed, so the suite is deterministic: the thresholds sit at
-//! ≈ 4σ of the null, far from both flakiness and real regressions (an
-//! engine bug that biases a skip law shows up as tens of σ).
+//! The fast engines are exact by construction, each against the naive
+//! loop under *its* scheduler family: `EventSim` and `BucketSim` equal
+//! `Simulation` under the uniform scheduler (`EventSim` skips the draws
+//! outside the exact effective set; `BucketSim` skips the draws outside
+//! a state-bucketed superset and rejects the difference — see
+//! `netcon_core::bucket`), and `RoundSim` equals `Simulation` under
+//! `ShuffledRounds` (hypergeometric within-round skips plus lazy
+//! scheduled-identity resolution — see `netcon_core::round`). The two
+//! families' running-time distributions genuinely differ (box schedules
+//! remove the coupon-collector slack), so the checks are pairwise
+//! *within* each family: the uniform trio all ways, the round pair
+//! head-to-head — four engines, four comparisons per workload, with
+//! thousands of independent trials per engine (disjoint seed streams,
+//! Welch z on the means, ratio bound on the variances). Seeds are fixed,
+//! so the suite is deterministic: the thresholds sit at ≈ 4σ of the
+//! null, far from both flakiness and real regressions (an engine bug
+//! that biases a skip law shows up as tens of σ).
 //!
-//! The coin-level proptests at the bottom pin the shared skip sampler
-//! itself: both event engines draw their skip counts from the same
-//! `geometric_skip` inversion, so feeding the two engines one skip
-//! schedule (the same stream of unit draws) makes the bucket engine —
-//! whose candidate set is a superset, hence whose hit probability is
-//! larger — skip no more than the dense engine at every step.
+//! The coin-level proptests at the bottom pin the shared skip samplers
+//! themselves: the geometric inversion both uniform-family engines draw
+//! from (one shared skip schedule ⇒ the superset engine never skips
+//! more), and the hypergeometric inversions `RoundSim` draws from
+//! (bracketing the brute-force CDFs, including the within-round
+//! exhaustion edge cases). `round_counts` adds the exact regression: on
+//! protocols whose round count is schedule-independent, `RoundSim` and
+//! the naive ShuffledRounds loop must report identical round counts on
+//! every seed.
 
 use netcon::core::seeds::derive2;
 use netcon::core::{
-    geometric_skip, unit_open01, BucketSim, EventSim, Link, Population, ProtocolBuilder,
-    RuleProtocol, Simulation, SparsePop, StateId,
+    geometric_skip, hypergeometric_count, hypergeometric_skip, unit_open01, BucketSim, EventSim,
+    Link, Population, ProtocolBuilder, RoundSim, RuleProtocol, ShuffledRounds, Simulation,
+    SparsePop, StateId,
 };
 use netcon::graph::properties::is_maximum_matching;
 use netcon::protocols::{cycle_cover, simple_global_line};
@@ -32,8 +42,10 @@ enum EngineKind {
     Naive,
     Event,
     Bucket,
+    NaiveShuffled,
+    Round,
 }
-use EngineKind::{Bucket, Event, Naive};
+use EngineKind::{Bucket, Event, Naive, NaiveShuffled, Round};
 
 /// Mean and sample variance of `converged_at` over `trials` runs.
 fn sample(
@@ -57,6 +69,13 @@ fn sample(
                     .run_until(|sp| sparse_stable(sp), u64::MAX),
                 Naive => {
                     Simulation::new(protocol.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
+                }
+                Round => {
+                    RoundSim::new(compiled.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
+                }
+                NaiveShuffled => {
+                    Simulation::with_scheduler(protocol.clone(), n, seed, ShuffledRounds::new())
+                        .run_until(|p| stable(p), u64::MAX)
                 }
             };
             out.converged_at().expect("stabilizes") as f64
@@ -93,9 +112,14 @@ fn assert_pair(name: &str, a: (&str, f64, f64), b: (&str, f64, f64), n: usize, t
     );
 }
 
-/// Runs all three engines on disjoint seed streams and asserts pairwise
-/// equivalence of the `converged_at` distributions.
-fn assert_equivalent_3way(
+/// Runs all four engines on disjoint seed streams and asserts pairwise
+/// equivalence of the `converged_at` distributions *within each
+/// scheduler family*: the uniform trio (naive / event / bucket) all
+/// ways, and the ShuffledRounds pair (naive round-player / `RoundSim`)
+/// head-to-head. Cross-family comparisons are deliberately absent — the
+/// families' distributions differ, and that difference is a measured
+/// result, not a bug.
+fn assert_equivalent_4way(
     name: &str,
     protocol: &RuleProtocol,
     stable: impl Fn(&Population<StateId>) -> bool + Copy,
@@ -109,6 +133,9 @@ fn assert_equivalent_3way(
     assert_pair(name, ("event", me, ve), ("naive", mn, vn), n, trials);
     assert_pair(name, ("bucket", mb, vb), ("naive", mn, vn), n, trials);
     assert_pair(name, ("bucket", mb, vb), ("event", me, ve), n, trials);
+    let (mr, vr) = sample(protocol, stable, sparse_stable, n, trials, 404, Round);
+    let (ms, vs) = sample(protocol, stable, sparse_stable, n, trials, 505, NaiveShuffled);
+    assert_pair(name, ("round", mr, vr), ("naive-shuffled", ms, vs), n, trials);
 }
 
 fn matching_protocol() -> RuleProtocol {
@@ -124,7 +151,7 @@ fn simple_global_line_matches_across_engines() {
     // Θ(n⁴)-class workload; n stays small so the naive side finishes.
     // converged_at's relative sd here is ≈ 70%, so the 5% mean bar needs
     // thousands of trials to sit at ≳ 3σ of the null.
-    assert_equivalent_3way(
+    assert_equivalent_4way(
         "Simple-Global-Line",
         &simple_global_line::protocol(),
         simple_global_line::is_stable,
@@ -136,7 +163,7 @@ fn simple_global_line_matches_across_engines() {
 
 #[test]
 fn cycle_cover_matches_across_engines() {
-    assert_equivalent_3way(
+    assert_equivalent_4way(
         "Cycle-Cover",
         &cycle_cover::protocol(),
         cycle_cover::is_stable,
@@ -148,7 +175,7 @@ fn cycle_cover_matches_across_engines() {
 
 #[test]
 fn matching_process_matches_across_engines() {
-    assert_equivalent_3way(
+    assert_equivalent_4way(
         "Maximum-Matching",
         &matching_protocol(),
         |p| is_maximum_matching(p.edges()),
@@ -176,6 +203,8 @@ fn step_budget_distribution_matches() {
                 Event => 77,
                 Naive => 88,
                 Bucket => 99,
+                Round => 111,
+                NaiveShuffled => 122,
             };
             let seed = derive2(base, n as u64, t);
             let out = match kind {
@@ -185,6 +214,12 @@ fn step_budget_distribution_matches() {
                     .run_until(|sp| sp.count_index(0) <= 1, budget),
                 Naive => Simulation::new(p.clone(), n, seed)
                     .run_until(|q| is_maximum_matching(q.edges()), budget),
+                Round => RoundSim::new(compiled.clone(), n, seed)
+                    .run_until(|q| is_maximum_matching(q.edges()), budget),
+                NaiveShuffled => {
+                    Simulation::with_scheduler(p.clone(), n, seed, ShuffledRounds::new())
+                        .run_until(|q| is_maximum_matching(q.edges()), budget)
+                }
             };
             match out {
                 netcon::core::RunOutcome::MaxSteps { steps } => {
@@ -212,6 +247,109 @@ fn step_budget_distribution_matches() {
             diff < 0.10,
             "timeout rates diverge: {label} {tx}/{trials} vs naive {tn}/{trials}"
         );
+    }
+    // Same check within the ShuffledRounds family (its timeout rate
+    // differs from the uniform family's — budgets interact with the box
+    // schedule — so it is compared only against its own naive loop).
+    let (tr, sr) = timeouts(Round);
+    let (ts, ss) = timeouts(NaiveShuffled);
+    assert_eq!(tr + sr, trials);
+    assert_eq!(ts + ss, trials);
+    let diff = (tr as f64 - ts as f64).abs() / trials as f64;
+    assert!(
+        diff < 0.10,
+        "timeout rates diverge: round {tr}/{trials} vs naive-shuffled {ts}/{trials}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Exact round-count regression: RoundSim vs naive ShuffledRounds.
+// ---------------------------------------------------------------------
+
+mod round_counts {
+    use super::*;
+
+    /// Match in round 1, dissolve each matched edge at its only
+    /// occurrence in round 2: under *any* box schedule the convergence
+    /// round is exactly 2 (for even n), whatever the permutations and
+    /// coins did. Both engines must report it on every seed — an exact
+    /// (not statistical) equivalence check of the round bookkeeping.
+    fn dissolve_protocol() -> RuleProtocol {
+        let mut b = ProtocolBuilder::new("dissolve");
+        let a = b.state("a");
+        let m = b.state("b");
+        let d = b.state("c");
+        b.rule((a, a, Link::Off), (m, m, Link::On));
+        b.rule((m, m, Link::On), (d, d, Link::Off));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn round_counts_match_naive_exactly_on_small_n() {
+        let p = dissolve_protocol();
+        let d = p.state("c").expect("dissolved state");
+        for n in [4usize, 8, 14] {
+            let m = (n as u64) * (n as u64 - 1) / 2;
+            for seed in 0..15u64 {
+                let stable = |q: &Population<StateId>| {
+                    q.count_where(|s| *s == d) == q.n() && q.edges().active_count() == 0
+                };
+                let mut naive = Simulation::with_scheduler(
+                    p.clone(),
+                    n,
+                    derive2(31, n as u64, seed),
+                    ShuffledRounds::new(),
+                );
+                let naive_out = naive.run_until(stable, u64::MAX);
+                let naive_rounds =
+                    naive_out.converged_at().expect("stabilizes").div_ceil(m);
+
+                let mut round = RoundSim::new(p.compile(), n, derive2(62, n as u64, seed));
+                let round_out = round.run_until(stable, u64::MAX);
+                let round_rounds =
+                    round_out.converged_at().expect("stabilizes").div_ceil(m);
+                assert_eq!(
+                    round.last_output_change_round(),
+                    round_rounds,
+                    "n={n} seed={seed}: engine round bookkeeping disagrees with div_ceil"
+                );
+
+                assert_eq!(
+                    (naive_rounds, round_rounds),
+                    (2, 2),
+                    "n={n} seed={seed}: dissolve must take exactly 2 rounds on both engines"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_round_counts_are_one_on_both_engines() {
+        // The single-phase variant: a maximum matching always completes
+        // within round 1 of a box schedule.
+        let p = super::matching_protocol();
+        for n in [6usize, 12, 20] {
+            let m = (n as u64) * (n as u64 - 1) / 2;
+            for seed in 0..10u64 {
+                let stable = |q: &Population<StateId>| is_maximum_matching(q.edges());
+                let mut naive = Simulation::with_scheduler(
+                    p.clone(),
+                    n,
+                    derive2(93, n as u64, seed),
+                    ShuffledRounds::new(),
+                );
+                let nr = naive
+                    .run_until(stable, u64::MAX)
+                    .converged_at()
+                    .expect("stabilizes")
+                    .div_ceil(m);
+                let mut round = RoundSim::new(p.compile(), n, derive2(94, n as u64, seed));
+                let out = round.run_until(stable, u64::MAX);
+                assert!(out.stabilized());
+                let rr = round.last_output_change_round();
+                assert_eq!((nr, rr), (1, 1), "n={n} seed={seed}");
+            }
+        }
     }
 }
 
@@ -316,6 +454,99 @@ mod skip_schedule {
             prop_assert_eq!(ev.steps(), 1);
             prop_assert_eq!(bu.steps(), 1);
         }
+    }
+
+    /// Exact negative-hypergeometric survival, draw by draw: the
+    /// probability the first `t` draws of a permutation of `r` pairs
+    /// (`k` of them candidates) are all non-candidates — what the naive
+    /// ShuffledRounds loop realizes one draw at a time.
+    fn nh_survival_brute(r: u64, k: u64, t: u64) -> f64 {
+        if t > r - k {
+            return 0.0;
+        }
+        (0..t).map(|i| (r - k - i) as f64 / (r - i) as f64).product()
+    }
+
+    /// Exact hypergeometric pmf by binomial-coefficient ratios.
+    fn hg_pmf_brute(marked: u64, total: u64, draws: u64, x: u64) -> f64 {
+        fn choose(n: u64, k: u64) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            (0..k).map(|i| (n - i) as f64 / (k - i) as f64).product()
+        }
+        choose(marked, x) * choose(total - marked, draws - x) / choose(total, draws)
+    }
+
+    proptest! {
+        /// The within-round skip inversion is the exact negative
+        /// hypergeometric CDF: skip(u, r, k) = t iff S(t) ≥ u > S(t+1),
+        /// with S the brute-force draw-by-draw survival product — i.e.
+        /// t leading misses of the naive round-player's permutation.
+        #[test]
+        fn hypergeometric_skip_matches_brute_force_cdf(
+            raw in any::<u64>(),
+            r in 2u64..400,
+            k_seed in any::<u64>(),
+        ) {
+            let k = 1 + k_seed % r;
+            let u = unit_open01(raw);
+            let t = hypergeometric_skip(u, r, k);
+            prop_assert!(t <= r - k, "skip {t} exceeds the round's misses");
+            let hi = nh_survival_brute(r, k, t);
+            let lo = nh_survival_brute(r, k, t + 1);
+            // f64 rounding at the boundary: allow one ulp-ish slack.
+            prop_assert!(u <= hi * (1.0 + 1e-9), "u={u} > S({t})={hi}");
+            prop_assert!(u > lo * (1.0 - 1e-9), "u={u} <= S({})={lo}", t + 1);
+        }
+
+        /// Within-round exhaustion: when the uniform draw is deep in the
+        /// tail the skip count saturates at exactly r − k (a round can
+        /// never run out of candidates before its last candidate), and a
+        /// full candidate set never skips.
+        #[test]
+        fn hypergeometric_skip_exhaustion_edges(r in 1u64..300, k_seed in any::<u64>()) {
+            let k = 1 + k_seed % r;
+            // One candidate, tail draw: S(r−1) = 1/r is far above the
+            // smallest unit draw (2⁻⁵³), so the skip count saturates at
+            // exactly the round's miss count.
+            prop_assert_eq!(hypergeometric_skip(unit_open01(0), r, 1), r - 1);
+            // u = 1 maps to zero skips; a full candidate set never skips.
+            prop_assert_eq!(hypergeometric_skip(1.0, r, k), 0);
+            prop_assert_eq!(hypergeometric_skip(unit_open01(raw_mid()), r, r), 0);
+        }
+
+        /// The batch-split inversion is the exact hypergeometric CDF:
+        /// count(u) is the smallest x with CDF(x) ≥ u, against the
+        /// brute-force pmf.
+        #[test]
+        fn hypergeometric_count_matches_brute_force_cdf(
+            raw in any::<u64>(),
+            marked in 0u64..40,
+            extra in 0u64..40,
+            draws_seed in any::<u64>(),
+        ) {
+            let total = marked + extra;
+            prop_assume!(total >= 1);
+            let draws = draws_seed % (total + 1);
+            let u = unit_open01(raw);
+            let x = hypergeometric_count(u, marked, total, draws);
+            let lo = draws.saturating_sub(total - marked);
+            let hi = marked.min(draws);
+            prop_assert!(x >= lo && x <= hi, "count {x} outside [{lo}, {hi}]");
+            let cdf = |y: u64| -> f64 {
+                (lo..=y).map(|j| hg_pmf_brute(marked, total, draws, j)).sum()
+            };
+            prop_assert!(cdf(x) >= u * (1.0 - 1e-9), "CDF({x}) < u={u}");
+            if x > lo {
+                prop_assert!(cdf(x - 1) < u * (1.0 + 1e-9), "{x} not minimal for u={u}");
+            }
+        }
+    }
+
+    /// A fixed mid-range raw draw for the proptest above.
+    fn raw_mid() -> u64 {
+        u64::MAX / 2
     }
 
     /// Non-proptest spot check: the sampler consumes exactly one raw draw
