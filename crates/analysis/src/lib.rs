@@ -8,6 +8,8 @@
 //! * [`stats`] — summary statistics with confidence intervals;
 //! * [`sweep`] — run a seeded workload for many trials across a ladder of
 //!   population sizes, in parallel (crossbeam scoped threads);
+//! * [`repair`] — perturb a stabilized network with a seeded fault burst
+//!   and measure the steps to re-stabilize, on any engine;
 //! * [`fit`] — least-squares log–log fits to estimate the polynomial
 //!   exponent of a measured time curve, with and without a `log n`
 //!   correction term.
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod fit;
+pub mod repair;
 pub mod stats;
 pub mod sweep;
 pub mod table;

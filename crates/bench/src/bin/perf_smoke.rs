@@ -1,6 +1,7 @@
 //! Executes every bench target (not just compiles them) and writes
-//! `BENCH_PR4.json`: per-bench wall-clock, the engine speedup records
-//! (uniform *and* ShuffledRounds), per-engine measured memory, and the
+//! `BENCH_PR6.json`: per-bench wall-clock, the engine speedup records
+//! (uniform *and* ShuffledRounds), per-engine measured memory, the
+//! fault-layer repair-time record (`perturbation_frontier`), and the
 //! frontier ladders — plus an optional regression gate against a
 //! committed baseline. `crates/bench/README.md` documents the JSON
 //! schema, the carry-forward rules, and the `--check` semantics.
@@ -8,14 +9,16 @@
 //! ```sh
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke -- \
-//!     --out bench-smoke.json --check BENCH_PR4.json   # CI gate
+//!     --out bench-smoke.json --check BENCH_PR6.json   # CI gate
 //! ```
 //!
 //! `NETCON_BENCH_SCALE` (percent) is inherited by the spawned bench
 //! processes and by the in-process engine measurement; CI uses the
 //! minimum (1) so the whole suite stays in smoke-test territory. The
-//! output path defaults to `BENCH_PR4.json` in the workspace root
-//! (`--out <path>` overrides).
+//! output path defaults to `BENCH_PR6.json` in the workspace root
+//! (`--out <path>` overrides). The `perturbation_frontier` section is
+//! cheap and always regenerated live; `NETCON_FAULT_SEVERITY` and
+//! `NETCON_FAULT_TRIALS` shape its fault burst and trial count.
 //!
 //! `--check <baseline.json>` compares this run's per-bench wall-clock
 //! against the baseline's `benches` section and exits non-zero when any
@@ -38,12 +41,16 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
+use netcon_analysis::repair::{sweep_repair_time, FaultSeverity};
+use netcon_analysis::sweep::SweepConfig;
 use netcon_bench::harness::scale;
 use netcon_bench::speedup::{
     bucket_stats, compare_engines, compare_round_engines, Comparison,
 };
-use netcon_core::{BucketSim, CompiledTable, EventSim, RoundSim, Simulation, SparsePop};
-use netcon_protocols::{cycle_cover, fast_global_line, simple_global_line};
+use netcon_core::{
+    BucketSim, CompiledTable, EventSim, Link, ProtocolBuilder, RoundSim, Simulation, SparsePop,
+};
+use netcon_protocols::{cycle_cover, fast_global_line, global_star, simple_global_line};
 
 fn bench_targets(bench_dir: &Path) -> Vec<String> {
     let mut names: Vec<String> = std::fs::read_dir(bench_dir)
@@ -327,6 +334,98 @@ fn round_frontier_section() -> String {
     s
 }
 
+/// The fault-layer repair-time record: [`sweep_repair_time`] on the two
+/// canonical self-repair workloads (matching under the
+/// `NETCON_FAULT_SEVERITY` mixed burst, Global-Star under fixed spoke
+/// deletions — the same pair the `perturbation_frontier` bench target
+/// prints). Cheap at these sizes, so it regenerates live on every run,
+/// including CI's scale-1 smoke: the fault layer has no carried-forward
+/// blind spot. `NETCON_FAULT_TRIALS` overrides the trial count.
+fn perturbation_frontier_section() -> String {
+    let severity = match std::env::var("NETCON_FAULT_SEVERITY") {
+        Ok(s) => FaultSeverity::parse(&s).unwrap_or_else(|| {
+            panic!("NETCON_FAULT_SEVERITY must be \"crashes,arrivals,edge_deletions\", got {s:?}")
+        }),
+        Err(_) => FaultSeverity::default(),
+    };
+    let trials = std::env::var("NETCON_FAULT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| scale(40).max(4));
+    // Odd sizes: the stabilized odd-n matching keeps one unmatched
+    // survivor, so the default burst's single arrival has a partner and
+    // the repair column is non-degenerate (see the bench target).
+    let cfg = SweepConfig {
+        sizes: vec![25, 49],
+        trials,
+        base_seed: 41,
+    };
+
+    let matching = {
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, Link::Off), (m, m, Link::On));
+        b.build().expect("valid")
+    };
+    let matching_table = sweep_repair_time(
+        &cfg,
+        &matching,
+        severity,
+        |v, fs| {
+            (0..v.n())
+                .filter(|&u| fs.is_alive(u) && v.state_index(u) == 0)
+                .count()
+                <= 1
+        },
+        1_000_000_000,
+    );
+    let spokes = FaultSeverity {
+        crashes: 0,
+        arrivals: 0,
+        edge_deletions: 2,
+    };
+    let star_table = sweep_repair_time(
+        &cfg,
+        &global_star::protocol(),
+        spokes,
+        global_star::is_stable_faulted,
+        1_000_000_000,
+    );
+
+    let mut s = String::from("  \"perturbation_frontier\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"mean steps from a seeded fault burst back to stability (netcon_analysis::repair); regenerated live on every run — NETCON_FAULT_SEVERITY and NETCON_FAULT_TRIALS shape it\","
+    );
+    let mut first = true;
+    for (key, sev, table) in [
+        ("maximum_matching", severity, &matching_table),
+        ("global_star_spokes", spokes, &star_table),
+    ] {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let _ = writeln!(
+            s,
+            "    \"{key}\": {{\n      \"severity\": \"{},{},{}\",\n      \"trials\": {trials},\n      \"rows\": [",
+            sev.crashes, sev.arrivals, sev.edge_deletions
+        );
+        for (i, row) in table.rows.iter().enumerate() {
+            let comma = if i + 1 < table.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{ \"n\": {}, \"mean_repair_steps\": {:.1}, \"sd\": {:.1}, \"median\": {:.1}, \"max\": {:.0} }}{comma}",
+                row.n, row.summary.mean, row.summary.std_dev, row.summary.median, row.summary.max
+            );
+        }
+        let _ = write!(s, "      ]\n    }}");
+    }
+    s.push_str("\n  }");
+    s
+}
+
 /// The frontier record: bucket-engine runs at n ∈ {20k, 50k, 100k}.
 /// ~15 minutes of single-core work — only under `NETCON_FRONTIER=1`.
 fn scaling_frontier_section() -> String {
@@ -401,7 +500,7 @@ fn main() {
         }
         (
             out.unwrap_or_else(|| {
-                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json")
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json")
             }),
             check,
         )
@@ -528,9 +627,12 @@ fn main() {
         carry("large_sample_agreement_n256")
     };
 
+    println!("==> perturbation frontier (fault-layer repair sweeps)");
+    let perturbation_section = perturbation_frontier_section();
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"bench_scale_pct\": \"{scale_pct}\",");
     json.push_str("  \"benches\": [\n");
     for (i, (name, wall)) in rows.iter().enumerate() {
@@ -551,6 +653,8 @@ fn main() {
     json.push_str(&bucket_section);
     json.push_str(",\n");
     json.push_str(&round_section);
+    json.push_str(",\n");
+    json.push_str(&perturbation_section);
     if let Some(section) = frontier {
         json.push_str(",\n");
         json.push_str(&section);

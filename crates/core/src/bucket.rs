@@ -57,6 +57,7 @@ use rand::{Rng, RngExt, SeedableRng};
 use crate::compiled::{EffectTable, EnumerableMachine};
 use crate::engine::{geometric_skip, unit_open01, Bookkeeping};
 use crate::event::EventStep;
+use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
 use crate::{Link, Population};
 
@@ -208,6 +209,28 @@ impl SparsePop {
         true
     }
 
+    /// Removes node `u` from its state bucket (ghost retirement for the
+    /// fault layer): the node keeps its `idx` entry but stops being
+    /// counted or drawn. `pos[u]` is stale until
+    /// [`bucket_insert`](Self::bucket_insert) restores it.
+    fn bucket_remove(&mut self, u: usize) {
+        let s = usize::from(self.idx[u]);
+        let p = self.pos[u] as usize;
+        let bucket = &mut self.buckets[s];
+        bucket.swap_remove(p);
+        if let Some(&moved) = bucket.get(p) {
+            self.pos[moved as usize] = p as u32;
+        }
+    }
+
+    /// Re-inserts node `u` into the bucket of its retained state index
+    /// (node arrival for the fault layer).
+    fn bucket_insert(&mut self, u: usize) {
+        let s = usize::from(self.idx[u]);
+        self.pos[u] = self.buckets[s].len() as u32;
+        self.buckets[s].push(u as u32);
+    }
+
     /// Sets the state of edge `{u, v}` in the adjacency lists. Returns
     /// the edge's on-list position at removal ([`NOT_ON`] otherwise) so
     /// the engine can repair its on list.
@@ -325,6 +348,7 @@ pub struct BucketSim<M: EnumerableMachine> {
     probe_at: u64,
     interact: InteractFn<M>,
     state_at: fn(&M, usize) -> M::State,
+    faults: Option<FaultState>,
 }
 
 /// First rejection-run length at which [`BucketSim::advance`] pays for an
@@ -367,6 +391,36 @@ impl<M: EnumerableMachine> BucketSim<M> {
         let initial = machine.state_index(&machine.initial_state());
         let sp = SparsePop::new(n, num_states, initial);
         Self::from_sparse(machine, sp, seed)
+    }
+
+    /// Creates a faulted sparse simulation: `n` live nodes plus one
+    /// *ghost* slot per planned arrival, sharing the fault semantics of
+    /// [`Simulation::new_faulted`](crate::Simulation::new_faulted) —
+    /// ghosts sit outside every bucket (zero candidate weight) while the
+    /// skip denominator stays fixed at `capacity·(capacity−1)`, so every
+    /// measured statistic matches the other engines under the identical
+    /// [`FaultPlan`].
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new) (with the capacity in place of `n`).
+    #[must_use]
+    pub fn new_faulted(machine: M, n: usize, seed: u64, plan: FaultPlan) -> Self {
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        let fs = FaultState::new(plan, n);
+        let mut sim = Self::new(machine, fs.capacity(), seed);
+        for ghost in n..fs.capacity() {
+            sim.sp.bucket_remove(ghost);
+        }
+        sim.dirty = true;
+        sim.faults = Some(fs);
+        sim
+    }
+
+    /// The fault state, if this engine was built with a [`FaultPlan`].
+    #[must_use]
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Creates a sparse simulation from an explicit dense configuration
@@ -426,6 +480,7 @@ impl<M: EnumerableMachine> BucketSim<M> {
             probe_at: QUIESCENCE_PROBE,
             interact: |m: &M, a, b, link, rng: &mut SmallRng| m.interact_indexed(a, b, link, rng),
             state_at: |m: &M, i: usize| m.state_at(i),
+            faults: None,
         };
         // Initial on-list: scan the active edges once.
         for u in 0..sim.sp.n() {
@@ -841,6 +896,181 @@ impl<M: EnumerableMachine> BucketSim<M> {
             }
         }
     }
+
+    /// Applies one resolved fault event by pure bucket/on-list
+    /// reclassification: crashed nodes leave their bucket and shed their
+    /// active edges; arrivals re-enter their retained bucket; deleted
+    /// edges leave the on list. The skip denominator never moves.
+    fn apply_resolved(&mut self, resolved: ResolvedFault) {
+        match resolved {
+            ResolvedFault::Noop => return,
+            ResolvedFault::Crash(x) => {
+                let neighbors: Vec<usize> = self.sp.neighbors(x).collect();
+                for &w in &neighbors {
+                    let on_pos = self.sp.set_edge(x, w, false);
+                    if on_pos != NOT_ON {
+                        self.on_list_remove(on_pos as usize);
+                    }
+                }
+                self.sp.bucket_remove(x);
+                self.dirty = true;
+                if !neighbors.is_empty() {
+                    self.book.edge_events += neighbors.len() as u64;
+                    self.book.last_output_change = self.book.steps;
+                }
+            }
+            ResolvedFault::Arrive(x) => {
+                self.sp.bucket_insert(x);
+                self.dirty = true;
+            }
+            ResolvedFault::DeleteEdge(u, v) => self.delete_edge_fault(u, v),
+            ResolvedFault::DeleteRandomEdges { count, mut rng } => {
+                // The dense engines sample from `EdgeSet::active_edges`'s
+                // triangular-index order, which is lexicographic in
+                // (min, max) — sort the adjacency-derived list to match.
+                let mut edges: Vec<(usize, usize)> = Vec::with_capacity(self.sp.active_count());
+                for u in 0..self.sp.n() {
+                    edges.extend(self.sp.neighbors(u).filter(|&w| w > u).map(|w| (u, w)));
+                }
+                edges.sort_unstable();
+                for (u, v) in sample_without_replacement(&mut rng, edges, count) {
+                    self.delete_edge_fault(u, v);
+                }
+            }
+        }
+        // The configuration changed, so any quiescence evidence gathered
+        // from rejected candidates is void.
+        self.rejection_run = 0;
+        self.probe_at = QUIESCENCE_PROBE;
+    }
+
+    /// Deactivates edge `{u, v}` as a fault (no-op when inactive) and
+    /// drops it from the on list if it rode there.
+    fn delete_edge_fault(&mut self, u: usize, v: usize) {
+        if !self.sp.is_active(u, v) {
+            return;
+        }
+        let on_pos = self.sp.set_edge(u, v, false);
+        if on_pos != NOT_ON {
+            self.on_list_remove(on_pos as usize);
+        }
+        self.book.edge_events += 1;
+        self.book.last_output_change = self.book.steps;
+    }
+
+    /// Applies every plan event whose scheduled time is ≤ the current
+    /// step counter.
+    fn apply_due_faults(&mut self) {
+        loop {
+            let resolved = match &mut self.faults {
+                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
+                    fs.resolve_next().expect("next_at implies a pending event")
+                }
+                _ => return,
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Applies every remaining plan event *now*, regardless of its
+    /// scheduled time (see
+    /// [`Simulation::apply_faults_now`](crate::Simulation::apply_faults_now)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn apply_faults_now(&mut self) {
+        assert!(self.faults.is_some(), "apply_faults_now needs a fault plan");
+        loop {
+            let Some(resolved) = self.faults.as_mut().and_then(FaultState::resolve_next) else {
+                return;
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Advances to exactly `target` total steps, applying plan events at
+    /// their scheduled times on the way (same stop/resume exactness as
+    /// [`EventSim::run_faulted_to`](crate::EventSim::run_faulted_to)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_to(&mut self, target: u64) {
+        assert!(self.faults.is_some(), "run_faulted_to needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= target => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                _ => {
+                    self.run_to(target);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs a faulted execution to stability, with the predicate reading
+    /// the sparse view plus the fault state — same semantics as
+    /// [`EventSim::run_faulted_until`](crate::EventSim::run_faulted_until):
+    /// the predicate is not consulted while plan events are pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_until(
+        &mut self,
+        mut stable: impl FnMut(&SparsePop, &FaultState) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        assert!(self.faults.is_some(), "run_faulted_until needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= max_steps => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                Some(_) => {
+                    self.run_to(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                None => break,
+            }
+        }
+        if stable(&self.sp, self.faults.as_ref().expect("asserted above")) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    self.book.steps = self.book.steps.max(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate { result, .. } => {
+                    if result.is_effective()
+                        && stable(&self.sp, self.faults.as_ref().expect("asserted above"))
+                    {
+                        return self.book.stabilized_now();
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1037,5 +1267,23 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_population_rejected() {
         let _ = BucketSim::new(matching_protocol(), 1, 0);
+    }
+
+    #[test]
+    fn faults_reclassify_buckets_and_converge() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::new(2)
+            .at(0, FaultEvent::Crash(0))
+            .at(0, FaultEvent::Arrive);
+        let mut sim = BucketSim::new_faulted(matching_protocol(), 8, 13, plan);
+        // Node 0 crashed, the one ghost slot arrived: 8 alive in `a`.
+        let out = sim.run_faulted_until(|sp, _| sp.active_count() == 4, 10_000_000);
+        assert!(out.stabilized(), "{out:?}");
+        let fs = sim.fault_state().expect("faulted");
+        assert_eq!(fs.alive_count(), 8);
+        assert_eq!(fs.capacity(), 9);
+        assert!(!fs.is_alive(0));
+        assert_eq!(sim.candidate_weight(), 0, "everyone alive is matched");
+        assert_eq!(sim.view().degree(0), 0, "the crashed node is inert");
     }
 }

@@ -434,6 +434,12 @@ pub(crate) struct EffectIndex<M: Machine> {
     /// One node bitset per state (bit `u` of row `s` ⇔ `idx[u] == s`),
     /// `row_words` words each — the input of the word-parallel rescan.
     state_nodes: Vec<u64>,
+    /// Ghost mask for faulted runs: bit `u` set ⇔ node `u` is absent
+    /// (crashed or not yet arrived) and must never be a candidate. The
+    /// word-parallel rescan excludes absent nodes automatically (they
+    /// are cleared from `state_nodes` and hold no active edges); the
+    /// per-pair fallback for > 32-state machines consults this mask.
+    absent: Vec<u64>,
     /// Scratch row for the desired-membership mask.
     scratch: Vec<u64>,
     row_words: usize,
@@ -472,12 +478,45 @@ impl<M: Machine> EffectIndex<M> {
                 table,
                 idx,
                 state_nodes,
+                absent: vec![0u64; row_words],
                 scratch: vec![0u64; row_words],
                 row_words,
                 index_of,
             },
             pairs,
         )
+    }
+
+    /// Marks node `x` absent (a ghost): it leaves its per-state node
+    /// bitset so no word-parallel rescan ever proposes a pair with it,
+    /// and the fallback path masks it explicitly. The caller clears
+    /// `x`'s pair row and edges; `idx[x]` is retained (an arrived node
+    /// re-enters with its unchanged initial state).
+    pub fn set_absent(&mut self, x: usize) {
+        let (word, bit) = (x / 64, 1u64 << (x % 64));
+        self.state_nodes[self.idx[x] as usize * self.row_words + word] &= !bit;
+        self.absent[word] |= bit;
+    }
+
+    /// Marks node `x` present again (an arrival): re-enters its state's
+    /// node bitset. The caller rescans `x`'s pair row afterwards.
+    pub fn set_present(&mut self, x: usize) {
+        let (word, bit) = (x / 64, 1u64 << (x % 64));
+        self.state_nodes[self.idx[x] as usize * self.row_words + word] |= bit;
+        self.absent[word] &= !bit;
+    }
+
+    /// Whether node `x` is currently marked absent.
+    pub fn is_absent(&self, x: usize) -> bool {
+        self.absent[x / 64] >> (x % 64) & 1 == 1
+    }
+
+    /// Recomputes the membership of every pair incident to `u` — the
+    /// public entry the fault layer uses after an arrival flips `u`
+    /// back to present.
+    pub fn rescan_node(&mut self, pop: &Population<M::State>, pairs: &mut PairSet, u: usize) {
+        debug_assert!(!self.is_absent(u), "rescan of an absent node");
+        self.rescan(pop, pairs, u);
     }
 
     /// The dense state index of node `u`.
@@ -493,7 +532,8 @@ impl<M: Machine> EffectIndex<M> {
     /// Bytes of heap memory held by the index (state indices, per-state
     /// node bitsets, scratch row, effect table).
     pub fn approx_mem_bytes(&self) -> u64 {
-        (self.idx.capacity() * 2 + (self.state_nodes.capacity() + self.scratch.capacity()) * 8)
+        (self.idx.capacity() * 2
+            + (self.state_nodes.capacity() + self.absent.capacity() + self.scratch.capacity()) * 8)
             as u64
             + self.table.approx_mem_bytes()
     }
@@ -569,8 +609,10 @@ impl<M: Machine> EffectIndex<M> {
                 pairs.set(
                     u,
                     w,
-                    self.table
-                        .can_affect(iu, self.idx[w] as usize, Link::from(active)),
+                    self.absent[w / 64] >> (w % 64) & 1 == 0
+                        && self
+                            .table
+                            .can_affect(iu, self.idx[w] as usize, Link::from(active)),
                 );
             }
         }

@@ -56,7 +56,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 
 use crate::compiled::EnumerableMachine;
-use crate::engine::{geometric_skip, unit_open01, Bookkeeping, EffectIndex, PairSet, ScanIndex};
+use crate::engine::{
+    apply_desired_row, geometric_skip, unit_open01, Bookkeeping, EffectIndex, PairSet, ScanIndex,
+};
+use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
 use crate::{Link, Machine, Population};
 
@@ -136,6 +139,7 @@ pub struct EventSim<M: Machine> {
     book: Bookkeeping,
     pairs: PairSet,
     effects: Effects<M>,
+    faults: Option<FaultState>,
 }
 
 impl<M: EnumerableMachine> EventSim<M> {
@@ -195,7 +199,33 @@ impl<M: EnumerableMachine> EventSim<M> {
                     m.interact_indexed(a, b, link, rng)
                 },
             },
+            faults: None,
         }
+    }
+
+    /// Creates a faulted event-driven simulation of `machine` on `n`
+    /// initially-present nodes: the draw space is pre-sized to
+    /// `n + plan.arrival_count()` (arrival slots start as inert ghosts)
+    /// and `plan`'s events are applied by
+    /// [`run_faulted_until`](Self::run_faulted_until) /
+    /// [`run_faulted_to`](Self::run_faulted_to) /
+    /// [`apply_faults_now`](Self::apply_faults_now). Always uses the
+    /// indexed effectiveness backend; see [`fault`](crate::fault) for
+    /// the ghost-node model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the machine has more than 65536 states.
+    #[must_use]
+    pub fn new_faulted(machine: M, n: usize, seed: u64, plan: FaultPlan) -> Self {
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        let fs = FaultState::new(plan, n);
+        let mut sim = Self::new(machine, fs.capacity(), seed);
+        for ghost in n..fs.capacity() {
+            sim.detach_node(ghost);
+        }
+        sim.faults = Some(fs);
+        sim
     }
 }
 
@@ -244,7 +274,15 @@ impl<M: Machine> EventSim<M> {
             book: Bookkeeping::default(),
             pairs,
             effects: Effects::Scan(scan),
+            faults: None,
         }
+    }
+
+    /// The fault bookkeeping, if this engine was constructed with a
+    /// [`FaultPlan`].
+    #[must_use]
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// The current configuration.
@@ -535,6 +573,196 @@ impl<M: Machine> EventSim<M> {
         }
     }
 
+    /// Retires node `x` from the candidate structures: deactivates its
+    /// incident active edges, clears its pair row, and marks it absent
+    /// in the index. Returns the number of edges deleted.
+    fn detach_node(&mut self, x: usize) -> u64 {
+        let neighbors: Vec<usize> = self.pop.edges().neighbors(x).collect();
+        for &w in &neighbors {
+            self.pop.edges_mut().set(x, w, false);
+        }
+        match &mut self.effects {
+            Effects::Indexed { index, .. } => index.set_absent(x),
+            Effects::Scan(_) => {
+                unreachable!("faulted EventSim always uses the indexed backend")
+            }
+        }
+        let zeros = vec![0u64; self.pairs.row_bits(x).len()];
+        apply_desired_row(&mut self.pairs, x, &zeros);
+        neighbors.len() as u64
+    }
+
+    /// Applies one resolved fault event (alive flags already flipped by
+    /// the resolver): reclassifies candidates and records fault-induced
+    /// edge deletions as output-graph changes.
+    fn apply_resolved(&mut self, resolved: ResolvedFault) {
+        match resolved {
+            ResolvedFault::Noop => {}
+            ResolvedFault::Crash(x) => {
+                let deleted = self.detach_node(x);
+                if deleted > 0 {
+                    self.book.edge_events += deleted;
+                    self.book.last_output_change = self.book.steps;
+                }
+            }
+            ResolvedFault::Arrive(x) => {
+                let Effects::Indexed { index, .. } = &mut self.effects else {
+                    unreachable!("faulted EventSim always uses the indexed backend")
+                };
+                index.set_present(x);
+                index.rescan_node(&self.pop, &mut self.pairs, x);
+            }
+            ResolvedFault::DeleteEdge(u, v) => self.delete_edge_fault(u, v),
+            ResolvedFault::DeleteRandomEdges { count, mut rng } => {
+                // Canonical triangular-index order, shared by every
+                // engine, so the draw depends only on the configuration.
+                let edges: Vec<(usize, usize)> = self.pop.edges().active_edges().collect();
+                for (u, v) in sample_without_replacement(&mut rng, edges, count) {
+                    self.delete_edge_fault(u, v);
+                }
+            }
+        }
+    }
+
+    /// Deactivates edge `{u, v}` as a fault (no-op when inactive) and
+    /// reclassifies the single affected pair.
+    fn delete_edge_fault(&mut self, u: usize, v: usize) {
+        if !self.pop.edges().is_active(u, v) {
+            return;
+        }
+        self.pop.edges_mut().set(u, v, false);
+        self.book.edge_events += 1;
+        self.book.last_output_change = self.book.steps;
+        let Effects::Indexed { index, .. } = &self.effects else {
+            unreachable!("faulted EventSim always uses the indexed backend")
+        };
+        // A dead endpoint implies an inactive edge, so both ends are
+        // alive here; only the link of this one pair changed.
+        let (a, b) = (u.min(v), u.max(v));
+        let eff = index
+            .table()
+            .can_affect(index.state_index(a), index.state_index(b), Link::Off);
+        self.pairs.set(a, b, eff);
+    }
+
+    /// Applies every plan event whose scheduled time is ≤ the current
+    /// step counter.
+    fn apply_due_faults(&mut self) {
+        loop {
+            let resolved = match &mut self.faults {
+                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
+                    fs.resolve_next().expect("next_at implies a pending event")
+                }
+                _ => return,
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Applies every remaining plan event *now*, regardless of its
+    /// scheduled time (see
+    /// [`Simulation::apply_faults_now`](crate::Simulation::apply_faults_now)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn apply_faults_now(&mut self) {
+        assert!(self.faults.is_some(), "apply_faults_now needs a fault plan");
+        loop {
+            let Some(resolved) = self.faults.as_mut().and_then(FaultState::resolve_next) else {
+                return;
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Advances to exactly `target` total steps, applying plan events
+    /// at their scheduled times on the way. Stopping at a fault
+    /// boundary (or any event time) and resuming is coin-for-coin
+    /// identical to running through: `run_to` decomposes the run at
+    /// event times either way, and event randomness never touches the
+    /// engine RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_to(&mut self, target: u64) {
+        assert!(self.faults.is_some(), "run_faulted_to needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= target => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                _ => {
+                    self.run_to(target);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs a faulted execution to stability: plan events at their
+    /// scheduled times, then `stable` over (configuration, fault
+    /// state) once the plan is exhausted. The predicate is not
+    /// consulted while events are pending — a network that looks
+    /// stable before its last fault is not stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_until(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>, &FaultState) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        assert!(self.faults.is_some(), "run_faulted_until needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= max_steps => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                Some(_) => {
+                    self.run_to(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                None => break,
+            }
+        }
+        if stable(&self.pop, self.faults.as_ref().expect("asserted above")) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    self.book.steps = self.book.steps.max(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate { result, .. } => {
+                    if result.is_effective()
+                        && stable(&self.pop, self.faults.as_ref().expect("asserted above"))
+                    {
+                        return self.book.stabilized_now();
+                    }
+                }
+            }
+        }
+    }
+
     /// Whether no pair of nodes has any effective interaction — O(1): the
     /// incrementally-maintained possibly-effective set is empty. (Compare
     /// [`Simulation::is_quiescent`](crate::Simulation::is_quiescent)'s
@@ -820,5 +1048,46 @@ mod tests {
         sim.run_until_edges(|p| is_maximum_matching(p.edges()), 100_000);
         assert_eq!(sim.output_graph().active_count(), 0);
         assert!(sim.population().edges().active_count() > 0);
+    }
+
+    #[test]
+    fn fault_bookkeeping_matches_brute_force_recomputation() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::new(5)
+            .at(0, FaultEvent::Crash(2))
+            .at(30, FaultEvent::Arrive)
+            .at(60, FaultEvent::CrashRandom)
+            .at(90, FaultEvent::DeleteRandomActiveEdges(1));
+        let m = matching_protocol().compile();
+        let mut sim = EventSim::new_faulted(m.clone(), 9, 21, plan);
+        sim.run_faulted_to(200);
+        let fs = sim.fault_state().expect("faulted");
+        let pop = sim.population();
+        // The maintained candidate set must equal the effective pairs of
+        // the final configuration, recomputed from scratch: pairs with a
+        // dead endpoint are certainly ineffective (their edges are gone
+        // and their states frozen), everything else follows the table.
+        let table = m.effect_table();
+        let mut expected = 0;
+        for u in 0..pop.n() {
+            for v in u + 1..pop.n() {
+                if fs.is_alive(u)
+                    && fs.is_alive(v)
+                    && table.can_affect(
+                        m.state_index(pop.state(u)),
+                        m.state_index(pop.state(v)),
+                        Link::from(pop.edges().is_active(u, v)),
+                    )
+                {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(sim.effective_pairs(), expected);
+        for u in 0..pop.n() {
+            if !fs.is_alive(u) {
+                assert_eq!(pop.edges().degree(u), 0, "ghost {u} kept an edge");
+            }
+        }
     }
 }

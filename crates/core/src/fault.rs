@@ -1,0 +1,461 @@
+//! Fault injection and churn: deterministic, seed-derived plans of node
+//! crashes, node arrivals, and adversarial edge deletions, applied at
+//! draw-indexed times on any of the four engines.
+//!
+//! # The ghost-node model
+//!
+//! The engines' exactness arguments all lean on a *fixed* draw space:
+//! the geometric skip law divides by `m = n(n−1)/2`, and a shuffled
+//! round is exactly `m` draws. Growing or shrinking `n` mid-run would
+//! change the denominator of every in-flight skip. The fault layer
+//! therefore keeps the draw space fixed at a *capacity* of
+//! `n + (number of planned arrivals)` nodes and models churn as
+//! **presence**: a crashed node (and a node that has not arrived yet)
+//! remains in the draw space as an inert *ghost* — any pair involving
+//! it is certainly ineffective, its edges are all inactive, and it
+//! never re-enters any rule. A scheduler draw that selects a ghost is
+//! an ordinary ineffective step.
+//!
+//! This is distribution-identical to a model that truly removes nodes,
+//! up to a deterministic time dilation: with `a` of `capacity` nodes
+//! alive, each draw hits an alive–alive pair with probability
+//! `a(a−1)/(capacity(capacity−1))`, so per-draw statistics are the
+//! removal model's slowed by that constant factor — and *identically
+//! so on all four engines*, which is what the equivalence tests
+//! exercise. In exchange, fault application is pure candidate-set
+//! reclassification (no engine ever resizes its draw space), and
+//! stop/resume across a fault boundary stays coin-for-coin exact.
+//!
+//! # Determinism
+//!
+//! Each plan event resolves its randomness (which node `CrashRandom`
+//! kills, which active edges `DeleteRandomActiveEdges` cuts) from a
+//! *private* RNG seeded by [`seeds::derive2`]`(plan_seed, event_index,
+//! event_time)` — never from the engine's scheduler RNG. Consequences:
+//!
+//! - the alive-set evolution is a pure function of the plan (crash
+//!   targets do not depend on the run), so the *same* node crashes at
+//!   the *same* draw index on every engine — the basis of the
+//!   exact-agreement fault regressions;
+//! - interrupting a run at a fault boundary and resuming consumes the
+//!   identical coin stream as an uninterrupted run;
+//! - only `DeleteRandomActiveEdges` inspects run state (the current
+//!   active-edge set), so it is distribution-exact rather than
+//!   trajectory-exact across engines.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::seeds;
+
+/// A single scheduled fault/churn event of a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash a uniformly random alive node (no-op if none are alive).
+    /// The victim is chosen by the plan's private RNG, so it is the
+    /// same node on every engine running the same plan.
+    CrashRandom,
+    /// Crash a specific node (no-op if it is already crashed, has not
+    /// arrived yet, or is out of range).
+    Crash(u32),
+    /// A fresh node in the machine's initial state joins the
+    /// population. Arriving nodes occupy the pre-sized ghost slots
+    /// `base_n..capacity` in plan order.
+    Arrive,
+    /// Adversarially deactivate one specific edge (no-op if the edge
+    /// is inactive or an endpoint is invalid).
+    DeleteEdge(u32, u32),
+    /// Deactivate up to `count` uniformly random currently-active
+    /// edges, sampled without replacement by the plan's private RNG.
+    DeleteRandomActiveEdges(u32),
+}
+
+/// A deterministic schedule of fault events at draw-indexed times.
+///
+/// An event at time `t` is applied as soon as the engine's step
+/// counter reaches `t` — i.e. after draw `t` and before draw `t + 1`
+/// (events at `t = 0` apply before any draw). Events sharing a time
+/// apply in insertion order. All per-event randomness derives from
+/// `seeds::derive2(seed, event_index, time)`; see the
+/// [module docs](self) for why that matters.
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::{FaultEvent, FaultPlan};
+///
+/// let plan = FaultPlan::new(42)
+///     .at(1_000, FaultEvent::CrashRandom)
+///     .at(1_000, FaultEvent::Arrive)
+///     .at(5_000, FaultEvent::DeleteRandomActiveEdges(3));
+/// assert_eq!(plan.len(), 3);
+/// assert_eq!(plan.arrival_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// `(time, event)`, sorted by time, stable under insertion order.
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan whose per-event randomness derives from
+    /// `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Schedules `event` at draw index `at` (builder style). Keeps the
+    /// schedule sorted by time; events at equal times keep insertion
+    /// order.
+    #[must_use]
+    pub fn at(mut self, at: u64, event: FaultEvent) -> Self {
+        let i = self.events.partition_point(|&(t, _)| t <= at);
+        self.events.insert(i, (at, event));
+        self
+    }
+
+    /// The scheduled `(time, event)` pairs, sorted by time.
+    #[must_use]
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    /// The number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The number of [`FaultEvent::Arrive`] events — the extra ghost
+    /// slots a faulted engine pre-sizes its draw space with.
+    #[must_use]
+    pub fn arrival_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::Arrive))
+            .count()
+    }
+
+    /// The plan's base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The private RNG of event `i` — independent of every engine RNG
+    /// and of every other event.
+    fn event_rng(&self, i: usize) -> SmallRng {
+        SmallRng::seed_from_u64(seeds::derive2(self.seed, i as u64, self.events[i].0))
+    }
+}
+
+/// A plan event with its randomness resolved against the current alive
+/// set — what an engine actually has to apply.
+#[derive(Debug)]
+pub(crate) enum ResolvedFault {
+    /// The event resolved to nothing (dead crash target, empty alive
+    /// set, invalid edge endpoints).
+    Noop,
+    /// Node `x` crashed: the engine must deactivate its incident
+    /// active edges and retire every pair involving it from its
+    /// candidate structures. The alive flag is already cleared.
+    Crash(usize),
+    /// Node `x` arrived (it holds the initial state and no edges): the
+    /// engine must admit its pairs back into its candidate structures.
+    /// The alive flag is already set.
+    Arrive(usize),
+    /// Deactivate edge `{u, v}` if currently active.
+    DeleteEdge(usize, usize),
+    /// Deactivate `count` active edges sampled without replacement by
+    /// `rng` from the canonically-ordered active-edge list.
+    DeleteRandomEdges {
+        /// How many edges to delete (capped by the active count).
+        count: usize,
+        /// The event's private RNG, for the without-replacement draw.
+        rng: SmallRng,
+    },
+}
+
+/// The live fault bookkeeping a faulted engine carries: the plan, how
+/// far into it the run is, and the presence (alive) flags of the
+/// fixed-capacity draw space.
+///
+/// Because event resolution never touches engine state (see the
+/// [module docs](self)), a `FaultState` can also be replayed *without*
+/// an engine — [`FaultState::project_final`] — to learn the final
+/// alive count for sizing predicates.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Events applied so far (a prefix of `plan.events`).
+    applied: usize,
+    /// Presence flag per draw-space slot.
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Next ghost slot an `Arrive` event will occupy.
+    next_arrival: usize,
+    base_n: usize,
+}
+
+impl FaultState {
+    /// Creates the fault bookkeeping for a plan over a population of
+    /// `base_n` initially-present nodes. The draw-space capacity is
+    /// `base_n + plan.arrival_count()`; slots `base_n..capacity` start
+    /// as not-yet-arrived ghosts.
+    #[must_use]
+    pub fn new(plan: FaultPlan, base_n: usize) -> Self {
+        let capacity = base_n + plan.arrival_count();
+        let mut alive = vec![true; capacity];
+        alive[base_n..].fill(false);
+        Self {
+            plan,
+            applied: 0,
+            alive,
+            alive_count: base_n,
+            next_arrival: base_n,
+            base_n,
+        }
+    }
+
+    /// The fixed draw-space size every faulted engine runs at:
+    /// `base_n + arrivals`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// The initially-present population size.
+    #[must_use]
+    pub fn base_n(&self) -> usize {
+        self.base_n
+    }
+
+    /// The number of currently alive (present) nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Whether node `u` is currently alive: arrived and not crashed.
+    #[must_use]
+    pub fn is_alive(&self, u: usize) -> bool {
+        self.alive[u]
+    }
+
+    /// The plan driving this state.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// How many plan events have been applied.
+    #[must_use]
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// The scheduled time of the next unapplied event, if any.
+    #[must_use]
+    pub fn next_at(&self) -> Option<u64> {
+        self.plan.events.get(self.applied).map(|&(t, _)| t)
+    }
+
+    /// Resolves the next unapplied event: draws its private randomness,
+    /// updates the alive flags, and returns what the engine must do.
+    /// `None` when the plan is exhausted.
+    pub(crate) fn resolve_next(&mut self) -> Option<ResolvedFault> {
+        let i = self.applied;
+        let &(_, event) = self.plan.events.get(i)?;
+        self.applied += 1;
+        Some(match event {
+            FaultEvent::CrashRandom => {
+                if self.alive_count == 0 {
+                    ResolvedFault::Noop
+                } else {
+                    let mut rng = self.plan.event_rng(i);
+                    let k = rng.random_range(0..self.alive_count);
+                    let x = self
+                        .alive
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &a)| a)
+                        .nth(k)
+                        .map(|(u, _)| u)
+                        .expect("k < alive_count");
+                    self.alive[x] = false;
+                    self.alive_count -= 1;
+                    ResolvedFault::Crash(x)
+                }
+            }
+            FaultEvent::Crash(u) => {
+                let u = u as usize;
+                if u < self.alive.len() && self.alive[u] {
+                    self.alive[u] = false;
+                    self.alive_count -= 1;
+                    ResolvedFault::Crash(u)
+                } else {
+                    ResolvedFault::Noop
+                }
+            }
+            FaultEvent::Arrive => {
+                let x = self.next_arrival;
+                self.next_arrival += 1;
+                debug_assert!(!self.alive[x], "arrival slot already occupied");
+                self.alive[x] = true;
+                self.alive_count += 1;
+                ResolvedFault::Arrive(x)
+            }
+            FaultEvent::DeleteEdge(u, v) => {
+                let (u, v) = (u as usize, v as usize);
+                if u == v || u >= self.alive.len() || v >= self.alive.len() {
+                    ResolvedFault::Noop
+                } else {
+                    ResolvedFault::DeleteEdge(u.min(v), u.max(v))
+                }
+            }
+            FaultEvent::DeleteRandomActiveEdges(count) => ResolvedFault::DeleteRandomEdges {
+                count: count as usize,
+                rng: self.plan.event_rng(i),
+            },
+        })
+    }
+
+    /// Replays the whole plan without an engine and returns the final
+    /// state — valid because alive-set evolution never depends on run
+    /// state. Useful for sizing alive-aware stable predicates up
+    /// front.
+    #[must_use]
+    pub fn project_final(&self) -> FaultState {
+        let mut fs = self.clone();
+        while fs.resolve_next().is_some() {}
+        fs
+    }
+}
+
+/// Samples `count` items from `items` without replacement (partial
+/// Fisher–Yates). Callers pass the items in a canonical order so the
+/// draw depends only on the configuration and the event RNG, not on
+/// engine-internal iteration order.
+pub(crate) fn sample_without_replacement<T>(
+    rng: &mut SmallRng,
+    mut items: Vec<T>,
+    count: usize,
+) -> Vec<T> {
+    let k = count.min(items.len());
+    for i in 0..k {
+        let j = rng.random_range(i..items.len());
+        items.swap(i, j);
+    }
+    items.truncate(k);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_sorts_and_counts() {
+        let plan = FaultPlan::new(7)
+            .at(50, FaultEvent::Arrive)
+            .at(10, FaultEvent::CrashRandom)
+            .at(50, FaultEvent::Crash(3))
+            .at(0, FaultEvent::DeleteEdge(1, 2));
+        let times: Vec<u64> = plan.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0, 10, 50, 50]);
+        // Equal times keep insertion order: Arrive was added before Crash(3).
+        assert_eq!(plan.events()[2].1, FaultEvent::Arrive);
+        assert_eq!(plan.events()[3].1, FaultEvent::Crash(3));
+        assert_eq!(plan.arrival_count(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn alive_evolution_is_plan_determined() {
+        let plan = FaultPlan::new(99)
+            .at(5, FaultEvent::CrashRandom)
+            .at(9, FaultEvent::Arrive)
+            .at(12, FaultEvent::CrashRandom);
+        let mut a = FaultState::new(plan.clone(), 10);
+        let mut b = FaultState::new(plan, 10);
+        assert_eq!(a.capacity(), 11);
+        assert_eq!(a.alive_count(), 10);
+        assert!(!a.is_alive(10), "arrival slot starts as a ghost");
+        loop {
+            let (ra, rb) = (a.resolve_next(), b.resolve_next());
+            match (&ra, &rb) {
+                (Some(ResolvedFault::Crash(x)), Some(ResolvedFault::Crash(y))) => {
+                    assert_eq!(x, y, "CrashRandom must pick identically")
+                }
+                (Some(ResolvedFault::Arrive(x)), Some(ResolvedFault::Arrive(y))) => {
+                    assert_eq!((x, y), (&10, &10))
+                }
+                (None, None) => break,
+                other => panic!("mismatched resolutions: {other:?}"),
+            }
+        }
+        assert_eq!(a.alive_count(), 9); // 10 − 2 crashes + 1 arrival
+        assert_eq!(a.alive_count(), b.alive_count());
+    }
+
+    #[test]
+    fn project_final_matches_replay() {
+        let plan = FaultPlan::new(4)
+            .at(1, FaultEvent::CrashRandom)
+            .at(2, FaultEvent::Crash(2))
+            .at(3, FaultEvent::Arrive)
+            .at(4, FaultEvent::Arrive);
+        let fresh = FaultState::new(plan, 6);
+        let projected = fresh.project_final();
+        let mut replayed = fresh.clone();
+        while replayed.resolve_next().is_some() {}
+        assert_eq!(projected.alive_count(), replayed.alive_count());
+        assert_eq!(projected.capacity(), 8);
+        for u in 0..projected.capacity() {
+            assert_eq!(projected.is_alive(u), replayed.is_alive(u), "node {u}");
+        }
+        // Projection does not advance the original.
+        assert_eq!(fresh.applied(), 0);
+    }
+
+    #[test]
+    fn dead_crash_targets_are_noops() {
+        let plan = FaultPlan::new(1)
+            .at(0, FaultEvent::Crash(1))
+            .at(1, FaultEvent::Crash(1))
+            .at(2, FaultEvent::Crash(99));
+        let mut fs = FaultState::new(plan, 4);
+        assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Crash(1))));
+        assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Noop)));
+        assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Noop)));
+        assert_eq!(fs.alive_count(), 3);
+        assert_eq!(fs.next_at(), None);
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_a_subset() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let items: Vec<u32> = (0..20).collect();
+        let got = sample_without_replacement(&mut rng, items.clone(), 7);
+        assert_eq!(got.len(), 7);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7, "no duplicates");
+        assert!(got.iter().all(|x| items.contains(x)));
+        // Asking for more than available returns everything.
+        let all = sample_without_replacement(&mut rng, vec![1, 2, 3], 10);
+        assert_eq!(all.len(), 3);
+    }
+}

@@ -44,7 +44,10 @@
 //!   time in rounds;
 //! * [`select`] — [`Engine::auto`] / [`Engine::auto_for`], which pick an
 //!   engine for a scheduler family by a memory budget and run predicates
-//!   over a representation-neutral [`EngineView`].
+//!   over a representation-neutral [`EngineView`];
+//! * [`fault`] — [`FaultPlan`] / [`FaultState`], the deterministic
+//!   seed-derived fault/churn layer (crashes, arrivals, edge deletions)
+//!   shared by all four engines with exact candidate reclassification.
 //!
 //! # Choosing an engine
 //!
@@ -94,6 +97,7 @@ mod state;
 pub mod bucket;
 pub mod compiled;
 pub mod event;
+pub mod fault;
 pub mod round;
 pub mod rules;
 pub mod scheduler;
@@ -108,6 +112,7 @@ pub use engine::{
     geometric_skip, hypergeometric_count, hypergeometric_skip, unit_open01, PairSet,
 };
 pub use event::{EventSim, EventStep};
+pub use fault::{FaultEvent, FaultPlan, FaultState};
 pub use round::RoundSim;
 pub use select::{Engine, EngineView, SchedulerKind};
 pub use machine::Machine;

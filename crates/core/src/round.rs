@@ -81,9 +81,11 @@ use rand::{Rng, RngExt, SeedableRng};
 
 use crate::compiled::EnumerableMachine;
 use crate::engine::{
-    hypergeometric_count, hypergeometric_skip, unit_open01, Bookkeeping, EffectIndex, PairSet,
+    apply_desired_row, hypergeometric_count, hypergeometric_skip, unit_open01, Bookkeeping,
+    EffectIndex, PairSet,
 };
 use crate::event::EventStep;
+use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
 use crate::{Link, Population};
 
@@ -201,6 +203,7 @@ pub struct RoundSim<M: EnumerableMachine> {
     /// diffed against the updated rows to find reclassification work.
     old_row_u: Vec<u64>,
     old_row_v: Vec<u64>,
+    faults: Option<FaultState>,
 }
 
 impl<M: EnumerableMachine> RoundSim<M> {
@@ -274,9 +277,44 @@ impl<M: EnumerableMachine> RoundSim<M> {
             m,
             old_row_u: vec![0; row_words],
             old_row_v: vec![0; row_words],
+            faults: None,
         };
         sim.reset_round();
         sim
+    }
+
+    /// Creates a faulted ShuffledRounds simulation: `n` live nodes plus
+    /// one *ghost* slot per planned arrival, sharing the fault semantics
+    /// of [`Simulation::new_faulted`](crate::Simulation::new_faulted).
+    /// The round length is fixed at `capacity·(capacity−1)/2`: ghost
+    /// pairs stay in the anonymous ineffective pool, so every skip law
+    /// and the round-denominated statistics match the naive
+    /// ShuffledRounds loop under the identical [`FaultPlan`].
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new) (with the capacity in place of `n`).
+    #[must_use]
+    pub fn new_faulted(machine: M, n: usize, seed: u64, plan: FaultPlan) -> Self {
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        let fs = FaultState::new(plan, n);
+        let mut sim = Self::new(machine, fs.capacity(), seed);
+        // Detach the ghost rows from the effective set, then rebuild the
+        // round partition from the corrected set (steps is still 0).
+        let zeros = vec![0u64; sim.old_row_u.len()];
+        for ghost in n..fs.capacity() {
+            sim.index.set_absent(ghost);
+            apply_desired_row(&mut sim.pairs, ghost, &zeros);
+        }
+        sim.reset_round();
+        sim.faults = Some(fs);
+        sim
+    }
+
+    /// The fault state, if this engine was built with a [`FaultPlan`].
+    #[must_use]
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// The current configuration.
@@ -365,6 +403,17 @@ impl<M: EnumerableMachine> RoundSim<M> {
     #[must_use]
     pub fn unscheduled_candidates(&self) -> usize {
         self.cand.len()
+    }
+
+    /// Whether the round partition accounts for every unscheduled pair:
+    /// `|A| + |B| + u_rem = m − steps mod m` (candidates, resolved
+    /// ineffective, anonymous pool). Interactions and fault events must
+    /// all preserve this; the mutation-bookkeeping proptests check it
+    /// after every fault.
+    #[must_use]
+    pub fn pool_invariant_holds(&self) -> bool {
+        self.cand.len() as u64 + self.ineff_rem.len() as u64 + self.u_rem
+            == self.m - self.book.steps % self.m
     }
 
     /// Bytes of heap memory held by the engine: the effective index and
@@ -509,6 +558,30 @@ impl<M: EnumerableMachine> RoundSim<M> {
         }
     }
 
+    /// Fast-forwards a certainly-quiescent engine to `target` total steps
+    /// while keeping the round partition exact, so a later fault (an
+    /// arrival can revive a quiescent network) resumes correctly. Within
+    /// the current round the skipped draws are split by the usual
+    /// hypergeometric law; crossing a round boundary discards every
+    /// resolved identity, and the landing round has all pairs anonymous
+    /// with a uniformly-scheduled `pos`-subset — exact because no pair
+    /// of the fresh round has been resolved.
+    fn jump_quiescent_to(&mut self, target: u64) {
+        debug_assert!(self.pairs.is_empty());
+        let remaining = self.m - self.book.steps % self.m;
+        if target - self.book.steps < remaining {
+            self.schedule_skips(target - self.book.steps);
+            self.book.steps = target;
+            return;
+        }
+        self.book.steps = target;
+        self.cand.clear();
+        self.ineff_rem.clear();
+        self.sched.clear();
+        self.u_count = self.m;
+        self.u_rem = self.m - target % self.m;
+    }
+
     /// Skips the hypergeometric number of ineffective draws and simulates
     /// the next candidate interaction, without letting the step counter
     /// pass `max_steps` — the same contract as
@@ -638,7 +711,9 @@ impl<M: EnumerableMachine> RoundSim<M> {
         loop {
             match self.advance(max_steps) {
                 EventStep::Quiescent => {
-                    self.book.steps = self.book.steps.max(max_steps);
+                    if max_steps > self.book.steps {
+                        self.jump_quiescent_to(max_steps);
+                    }
                     return RunOutcome::MaxSteps {
                         steps: self.book.steps,
                     };
@@ -671,7 +746,9 @@ impl<M: EnumerableMachine> RoundSim<M> {
         loop {
             match self.advance(max_steps) {
                 EventStep::Quiescent => {
-                    self.book.steps = self.book.steps.max(max_steps);
+                    if max_steps > self.book.steps {
+                        self.jump_quiescent_to(max_steps);
+                    }
                     return RunOutcome::MaxSteps {
                         steps: self.book.steps,
                     };
@@ -705,11 +782,198 @@ impl<M: EnumerableMachine> RoundSim<M> {
         while self.book.steps < target {
             match self.advance(target) {
                 EventStep::Quiescent => {
-                    self.book.steps = target;
+                    self.jump_quiescent_to(target);
                     return;
                 }
                 EventStep::BudgetExhausted => return,
                 EventStep::Candidate { .. } => {}
+            }
+        }
+    }
+
+    /// Applies one resolved fault event, reclassifying exactly the pairs
+    /// whose effectiveness flipped. Ghost pairs never flip: they stay in
+    /// the anonymous pool for the rest of the round (they are certainly
+    /// ineffective, which is all the pool records), so the pool does
+    /// *not* shrink on a crash — `pool_invariant_holds` is preserved.
+    fn apply_resolved(&mut self, resolved: ResolvedFault) {
+        match resolved {
+            ResolvedFault::Noop => {}
+            ResolvedFault::Crash(x) => {
+                // Detach x's effective-set row (every flip is eff→ineff:
+                // cand → resolved-ineffective, scheduled pairs frozen)…
+                let old: Vec<u64> = self.pairs.row_bits(x).to_vec();
+                self.index.set_absent(x);
+                let zeros = vec![0u64; old.len()];
+                apply_desired_row(&mut self.pairs, x, &zeros);
+                self.reclass_row(x, &old, None);
+                // …then drop its active edges. The incident pairs are
+                // already out of the effective set, so no further flips.
+                let neighbors: Vec<usize> = self.pop.edges().neighbors(x).collect();
+                for &w in &neighbors {
+                    self.pop.edges_mut().set(x, w, false);
+                }
+                if !neighbors.is_empty() {
+                    self.book.edge_events += neighbors.len() as u64;
+                    self.book.last_output_change = self.book.steps;
+                }
+            }
+            ResolvedFault::Arrive(x) => {
+                // Re-admit x and rescan its row; every flip is
+                // ineff→eff, resolved against the pool by the urn draw
+                // (an arriving pair is exchangeable with any other pool
+                // member: it has been ineffective all round).
+                let old: Vec<u64> = self.pairs.row_bits(x).to_vec();
+                self.index.set_present(x);
+                self.index.rescan_node(&self.pop, &mut self.pairs, x);
+                self.reclass_row(x, &old, None);
+            }
+            ResolvedFault::DeleteEdge(u, v) => self.delete_edge_fault(u, v),
+            ResolvedFault::DeleteRandomEdges { count, mut rng } => {
+                // Canonical triangular-index order, shared by every
+                // engine, so the draw depends only on the configuration.
+                let edges: Vec<(usize, usize)> = self.pop.edges().active_edges().collect();
+                for (u, v) in sample_without_replacement(&mut rng, edges, count) {
+                    self.delete_edge_fault(u, v);
+                }
+            }
+        }
+    }
+
+    /// Deactivates edge `{u, v}` as a fault (no-op when inactive) and
+    /// reclassifies the single affected pair.
+    fn delete_edge_fault(&mut self, u: usize, v: usize) {
+        if !self.pop.edges().is_active(u, v) {
+            return;
+        }
+        self.pop.edges_mut().set(u, v, false);
+        self.book.edge_events += 1;
+        self.book.last_output_change = self.book.steps;
+        // A dead endpoint implies an inactive edge, so both ends are
+        // alive here; only the link of this one pair changed.
+        let (a, b) = (u.min(v), u.max(v));
+        let now_eff = self.index.table().can_affect(
+            self.index.state_index(a),
+            self.index.state_index(b),
+            Link::Off,
+        );
+        if self.pairs.contains(a, b) != now_eff {
+            self.pairs.set(a, b, now_eff);
+            self.reclass_pair(a, b, now_eff);
+        }
+    }
+
+    /// Applies every plan event whose scheduled time is ≤ the current
+    /// step counter.
+    fn apply_due_faults(&mut self) {
+        loop {
+            let resolved = match &mut self.faults {
+                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
+                    fs.resolve_next().expect("next_at implies a pending event")
+                }
+                _ => return,
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Applies every remaining plan event *now*, regardless of its
+    /// scheduled time (see
+    /// [`Simulation::apply_faults_now`](crate::Simulation::apply_faults_now)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn apply_faults_now(&mut self) {
+        assert!(self.faults.is_some(), "apply_faults_now needs a fault plan");
+        loop {
+            let Some(resolved) = self.faults.as_mut().and_then(FaultState::resolve_next) else {
+                return;
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Advances to exactly `target` total steps, applying plan events at
+    /// their scheduled times on the way (same stop/resume exactness as
+    /// [`EventSim::run_faulted_to`](crate::EventSim::run_faulted_to)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_to(&mut self, target: u64) {
+        assert!(self.faults.is_some(), "run_faulted_to needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= target => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                _ => {
+                    self.run_to(target);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs a faulted execution to stability — same semantics as
+    /// [`EventSim::run_faulted_until`](crate::EventSim::run_faulted_until):
+    /// the predicate is not consulted while plan events are pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_until(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>, &FaultState) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        assert!(self.faults.is_some(), "run_faulted_until needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= max_steps => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                Some(_) => {
+                    self.run_to(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                None => break,
+            }
+        }
+        if stable(&self.pop, self.faults.as_ref().expect("asserted above")) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    if max_steps > self.book.steps {
+                        self.jump_quiescent_to(max_steps);
+                    }
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate { result, .. } => {
+                    if result.is_effective()
+                        && stable(&self.pop, self.faults.as_ref().expect("asserted above"))
+                    {
+                        return self.book.stabilized_now();
+                    }
+                }
             }
         }
     }
@@ -937,6 +1201,40 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_population_rejected() {
         let _ = RoundSim::new(matching_protocol(), 1, 0);
+    }
+
+    #[test]
+    fn pool_invariant_survives_fault_events() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::new(4)
+            .at(10, FaultEvent::CrashRandom)
+            .at(25, FaultEvent::Arrive)
+            .at(40, FaultEvent::DeleteRandomActiveEdges(1));
+        let mut sim = RoundSim::new_faulted(dissolve_protocol(), 10, 17, plan);
+        assert!(sim.pool_invariant_holds());
+        for target in [10, 25, 40, 70, 200] {
+            sim.run_faulted_to(target);
+            assert!(sim.pool_invariant_holds(), "after step {target}");
+        }
+        let fs = sim.fault_state().expect("faulted");
+        assert_eq!(fs.alive_count(), 10);
+        assert_eq!(fs.capacity(), 11);
+    }
+
+    #[test]
+    fn faulted_matching_still_completes_in_round_one() {
+        // A crash at t = 0 leaves 8 live `a` nodes (plus one ghost):
+        // every live (a, a) pair still occurs within round 1, so the
+        // matching among the living is maximal by the round's end.
+        for seed in 0..10 {
+            use crate::fault::{FaultEvent, FaultPlan};
+            let plan = FaultPlan::new(seed).at(0, FaultEvent::CrashRandom);
+            let mut sim = RoundSim::new_faulted(matching_protocol(), 9, 300 + seed, plan);
+            let out = sim.run_faulted_until(|p, _| p.edges().active_count() == 4, 1_000_000);
+            assert!(out.stabilized(), "seed {seed}: {out:?}");
+            assert_eq!(sim.last_output_change_round(), 1, "seed {seed}");
+            assert!(sim.pool_invariant_holds());
+        }
     }
 
     #[test]

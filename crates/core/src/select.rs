@@ -24,6 +24,7 @@
 use crate::bucket::{BucketSim, SparsePop};
 use crate::compiled::EnumerableMachine;
 use crate::event::EventSim;
+use crate::fault::{FaultPlan, FaultState};
 use crate::round::RoundSim;
 use crate::scheduler::ShuffledRounds;
 use crate::sim::{RunOutcome, Simulation};
@@ -304,6 +305,79 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         }
     }
 
+    /// Selects a uniform-scheduler engine for a faulted run under the
+    /// default memory budget — [`auto`](Self::auto) with a [`FaultPlan`].
+    #[must_use]
+    pub fn auto_faulted(machine: M, n: usize, seed: u64, plan: FaultPlan) -> Self {
+        Self::with_budget_for_faulted(
+            machine,
+            n,
+            seed,
+            Self::default_budget(),
+            SchedulerKind::Uniform,
+            plan,
+        )
+    }
+
+    /// Selects an engine reproducing `scheduler` for a faulted run under
+    /// the default memory budget — [`auto_for`](Self::auto_for) with a
+    /// [`FaultPlan`].
+    #[must_use]
+    pub fn auto_for_faulted(
+        machine: M,
+        n: usize,
+        seed: u64,
+        scheduler: SchedulerKind,
+        plan: FaultPlan,
+    ) -> Self {
+        Self::with_budget_for_faulted(machine, n, seed, Self::default_budget(), scheduler, plan)
+    }
+
+    /// Selects by an explicit budget within a scheduler family and
+    /// constructs the chosen engine with a [`FaultPlan`]. The dense
+    /// estimates are sized on the *capacity* (`n` plus planned
+    /// arrivals), since that is the node range every faulted engine
+    /// allocates for.
+    #[must_use]
+    pub fn with_budget_for_faulted(
+        machine: M,
+        n: usize,
+        seed: u64,
+        budget_bytes: u64,
+        scheduler: SchedulerKind,
+        plan: FaultPlan,
+    ) -> Self {
+        let capacity = n + plan.arrival_count();
+        let dense_ok =
+            |estimate: u64| capacity <= usize::from(u16::MAX) && estimate <= budget_bytes;
+        match scheduler {
+            SchedulerKind::Uniform => {
+                if dense_ok(EventSim::<M>::dense_mem_estimate(capacity)) {
+                    let sim = Box::new(EventSim::new_faulted(machine.clone(), n, seed, plan));
+                    Engine::Dense { sim, machine }
+                } else {
+                    let sim = Box::new(BucketSim::new_faulted(machine.clone(), n, seed, plan));
+                    Engine::Sparse { sim, machine }
+                }
+            }
+            SchedulerKind::ShuffledRounds => {
+                if dense_ok(RoundSim::<M>::dense_mem_estimate(capacity)) {
+                    let sim = Box::new(RoundSim::new_faulted(machine.clone(), n, seed, plan));
+                    Engine::Round { sim, machine }
+                } else {
+                    let sim = Box::new(Simulation::with_scheduler_faulted(
+                        machine.clone(),
+                        n,
+                        seed,
+                        ShuffledRounds::new(),
+                        plan,
+                    ));
+                    Engine::RoundNaive { sim, machine }
+                }
+            }
+        }
+    }
+
     /// The active memory budget (`NETCON_ENGINE_MEM_BUDGET` or the
     /// 512 MiB default).
     #[must_use]
@@ -452,6 +526,82 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::RoundNaive { sim, .. } => sim.population().clone(),
         }
     }
+
+    /// The fault state, if the engine was built with a [`FaultPlan`]
+    /// (via [`auto_faulted`](Self::auto_faulted) and friends).
+    #[must_use]
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        match self {
+            Engine::Dense { sim, .. } => sim.fault_state(),
+            Engine::Sparse { sim, .. } => sim.fault_state(),
+            Engine::Round { sim, .. } => sim.fault_state(),
+            Engine::RoundNaive { sim, .. } => sim.fault_state(),
+        }
+    }
+
+    /// Runs a faulted execution to stability: the selected engine's
+    /// `run_faulted_until`, with the predicate reading the engine view
+    /// plus the fault state. Identical semantics on every arm; the
+    /// predicate is not consulted while plan events are pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_until(
+        &mut self,
+        mut stable: impl FnMut(&EngineView<'_, M>, &FaultState) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        match self {
+            Engine::Dense { sim, machine } => sim.run_faulted_until(
+                |pop, fs| stable(&EngineView::Dense { pop, machine }, fs),
+                max_steps,
+            ),
+            Engine::Sparse { sim, machine } => sim.run_faulted_until(
+                |sp, fs| stable(&EngineView::Sparse { sp, machine }, fs),
+                max_steps,
+            ),
+            Engine::Round { sim, machine } => sim.run_faulted_until(
+                |pop, fs| stable(&EngineView::Dense { pop, machine }, fs),
+                max_steps,
+            ),
+            Engine::RoundNaive { sim, machine } => sim.run_faulted_until(
+                |pop, fs| stable(&EngineView::Dense { pop, machine }, fs),
+                max_steps,
+            ),
+        }
+    }
+
+    /// Advances to exactly `target` total steps, applying plan events at
+    /// their scheduled times on the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_to(&mut self, target: u64) {
+        match self {
+            Engine::Dense { sim, .. } => sim.run_faulted_to(target),
+            Engine::Sparse { sim, .. } => sim.run_faulted_to(target),
+            Engine::Round { sim, .. } => sim.run_faulted_to(target),
+            Engine::RoundNaive { sim, .. } => sim.run_faulted_to(target),
+        }
+    }
+
+    /// Applies every remaining plan event *now*, regardless of its
+    /// scheduled time (the perturb-then-measure entry point of
+    /// self-repair experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn apply_faults_now(&mut self) {
+        match self {
+            Engine::Dense { sim, .. } => sim.apply_faults_now(),
+            Engine::Sparse { sim, .. } => sim.apply_faults_now(),
+            Engine::Round { sim, .. } => sim.apply_faults_now(),
+            Engine::RoundNaive { sim, .. } => sim.apply_faults_now(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -546,6 +696,27 @@ mod tests {
         let (s0, s1) = run(1);
         assert_eq!(d0 + d1, 20);
         assert_eq!(s0 + s1, 20);
+    }
+
+    #[test]
+    fn faulted_engines_route_and_run_on_every_arm() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let plan = || FaultPlan::new(6).at(0, FaultEvent::CrashRandom);
+        let configs = [
+            (u64::MAX, SchedulerKind::Uniform, "event-dense"),
+            (1, SchedulerKind::Uniform, "bucket-sparse"),
+            (u64::MAX, SchedulerKind::ShuffledRounds, "round-dense"),
+            (1, SchedulerKind::ShuffledRounds, "round-naive"),
+        ];
+        for (budget, family, kind) in configs {
+            let mut eng =
+                Engine::with_budget_for_faulted(matching(), 9, 3, budget, family, plan());
+            assert_eq!(eng.kind(), kind);
+            let out = eng.run_faulted_until(|v, _| v.active_count() == 4, 10_000_000);
+            assert!(out.stabilized(), "{kind}: {out:?}");
+            let fs = eng.fault_state().expect("faulted");
+            assert_eq!(fs.alive_count(), 8, "{kind}");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 
 use crate::compiled::EnumerableMachine;
 use crate::engine::{Bookkeeping, EffectIndex, PairSet};
+use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
 use crate::{Link, Machine, Population, Scheduler, Uniform};
 
 /// The result of a single simulation step.
@@ -119,6 +120,7 @@ pub struct Simulation<M: Machine, S: Scheduler = Uniform> {
     rng: SmallRng,
     book: Bookkeeping,
     tracker: Option<Tracker<M>>,
+    faults: Option<FaultState>,
 }
 
 /// Optional incremental effective-pair tracking (see
@@ -166,6 +168,22 @@ impl<M: Machine> Simulation<M, Uniform> {
     pub fn from_population(machine: M, pop: Population<M::State>, seed: u64) -> Self {
         Self::from_population_with_scheduler(machine, pop, seed, Uniform)
     }
+
+    /// Creates a faulted simulation of `machine` on `n` initially-present
+    /// nodes under the uniform scheduler: the draw space is pre-sized to
+    /// `n + plan.arrival_count()` and `plan`'s events are applied by
+    /// [`run_faulted_until`](Self::run_faulted_until) /
+    /// [`run_faulted_to`](Self::run_faulted_to) /
+    /// [`apply_faults_now`](Self::apply_faults_now). See
+    /// [`fault`](crate::fault) for the ghost-node model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new_faulted(machine: M, n: usize, seed: u64, plan: FaultPlan) -> Self {
+        Self::with_scheduler_faulted(machine, n, seed, Uniform, plan)
+    }
 }
 
 impl<M: Machine, S: Scheduler> Simulation<M, S> {
@@ -201,7 +219,40 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
             rng: SmallRng::seed_from_u64(seed),
             book: Bookkeeping::default(),
             tracker: None,
+            faults: None,
         }
+    }
+
+    /// Creates a faulted simulation under a custom scheduler — the
+    /// reference semantics the faulted event engines are measured
+    /// against. Ghost slots (not-yet-arrived nodes) hold the initial
+    /// state and no edges; a draw touching a ghost (or a crashed node)
+    /// is an ordinary ineffective step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_scheduler_faulted(
+        machine: M,
+        n: usize,
+        seed: u64,
+        scheduler: S,
+        plan: FaultPlan,
+    ) -> Self {
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        let fs = FaultState::new(plan, n);
+        let pop = Population::new(fs.capacity(), machine.initial_state());
+        let mut sim = Self::from_population_with_scheduler(machine, pop, seed, scheduler);
+        sim.faults = Some(fs);
+        sim
+    }
+
+    /// The fault bookkeeping, if this simulation was constructed with a
+    /// [`FaultPlan`].
+    #[must_use]
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// The current configuration.
@@ -255,6 +306,13 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
     pub fn step(&mut self) -> StepResult {
         let (u, v) = self.scheduler.next_pair(self.pop.n(), &mut self.rng);
         self.book.steps += 1;
+        if let Some(fs) = &self.faults {
+            // Ghost-node model: a pair touching a crashed or not-yet-
+            // arrived node is certainly ineffective.
+            if !fs.is_alive(u) || !fs.is_alive(v) {
+                return StepResult::Ineffective { pair: (u, v) };
+            }
+        }
         let link = Link::from(self.pop.edges().is_active(u, v));
         match self
             .machine
@@ -341,6 +399,176 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
         }
     }
 
+    /// Applies one resolved fault event to the configuration. The alive
+    /// flags were already flipped by the resolver; this realizes the
+    /// structural half (edge deletions, recorded as output changes).
+    fn apply_resolved(&mut self, resolved: ResolvedFault) {
+        match resolved {
+            ResolvedFault::Noop => {}
+            ResolvedFault::Arrive(x) => {
+                // The node already sits in its ghost slot with the
+                // initial state and no edges; only candidate tracking
+                // (if any) needs to admit its pairs.
+                if let Some(t) = &mut self.tracker {
+                    t.index.set_present(x);
+                    t.index.rescan_node(&self.pop, &mut t.pairs, x);
+                }
+            }
+            ResolvedFault::Crash(x) => {
+                let neighbors: Vec<usize> = self.pop.edges().neighbors(x).collect();
+                for &w in &neighbors {
+                    self.pop.edges_mut().set(x, w, false);
+                }
+                if let Some(t) = &mut self.tracker {
+                    t.index.set_absent(x);
+                    let zeros = vec![0u64; t.pairs.row_bits(x).len()];
+                    crate::engine::apply_desired_row(&mut t.pairs, x, &zeros);
+                }
+                if !neighbors.is_empty() {
+                    self.book.edge_events += neighbors.len() as u64;
+                    self.book.last_output_change = self.book.steps;
+                }
+            }
+            ResolvedFault::DeleteEdge(u, v) => self.delete_edge_fault(u, v),
+            ResolvedFault::DeleteRandomEdges { count, mut rng } => {
+                // `active_edges` iterates in triangular-index order —
+                // a canonical order shared by every engine.
+                let edges: Vec<(usize, usize)> = self.pop.edges().active_edges().collect();
+                for (u, v) in sample_without_replacement(&mut rng, edges, count) {
+                    self.delete_edge_fault(u, v);
+                }
+            }
+        }
+    }
+
+    /// Deactivates edge `{u, v}` as a fault (no-op when inactive),
+    /// recording it as an output-graph change.
+    fn delete_edge_fault(&mut self, u: usize, v: usize) {
+        if !self.pop.edges().is_active(u, v) {
+            return;
+        }
+        self.pop.edges_mut().set(u, v, false);
+        self.book.edge_events += 1;
+        self.book.last_output_change = self.book.steps;
+        if let Some(t) = &mut self.tracker {
+            let (a, b) = (u.min(v), u.max(v));
+            let eff = t
+                .index
+                .table()
+                .can_affect(t.index.state_index(a), t.index.state_index(b), Link::Off);
+            t.pairs.set(a, b, eff);
+        }
+    }
+
+    /// Applies every plan event whose scheduled time is ≤ the current
+    /// step counter.
+    fn apply_due_faults(&mut self) {
+        loop {
+            let resolved = match &mut self.faults {
+                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
+                    fs.resolve_next().expect("next_at implies a pending event")
+                }
+                _ => return,
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Applies every remaining plan event *now*, regardless of its
+    /// scheduled time — how `analysis::repair_time` perturbs a network
+    /// the moment it stabilizes (the stabilization step is random, so
+    /// no draw-indexed time could express "right after stabilizing").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has no fault plan.
+    pub fn apply_faults_now(&mut self) {
+        assert!(self.faults.is_some(), "apply_faults_now needs a fault plan");
+        loop {
+            let Some(resolved) = self.faults.as_mut().and_then(FaultState::resolve_next) else {
+                return;
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Advances to exactly `target` total steps, applying plan events
+    /// at their scheduled times on the way. Stopping at any step and
+    /// resuming is coin-for-coin identical to running through (the
+    /// naive loop consumes its draws one by one either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has no fault plan.
+    pub fn run_faulted_to(&mut self, target: u64) {
+        assert!(self.faults.is_some(), "run_faulted_to needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= target => {
+                    self.run_for(at.saturating_sub(self.book.steps));
+                    self.apply_due_faults();
+                }
+                _ => {
+                    self.run_for(target.saturating_sub(self.book.steps));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs a faulted execution to stability: applies plan events at
+    /// their scheduled times, then (once the plan is exhausted) runs
+    /// until `stable` holds or `max_steps` is reached. The predicate
+    /// receives the configuration *and* the fault state — stability
+    /// under churn is a property of the alive subpopulation, which the
+    /// configuration alone cannot express. It is deliberately not
+    /// consulted while plan events are still pending: a network that
+    /// looks stable before its last fault is not stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has no fault plan.
+    pub fn run_faulted_until(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>, &FaultState) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        assert!(self.faults.is_some(), "run_faulted_until needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= max_steps => {
+                    self.run_for(at.saturating_sub(self.book.steps));
+                    self.apply_due_faults();
+                }
+                Some(_) => {
+                    self.run_for(max_steps.saturating_sub(self.book.steps));
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                None => break,
+            }
+        }
+        let fs = self.faults.as_ref().expect("asserted above");
+        if stable(&self.pop, fs) {
+            return self.book.stabilized_now();
+        }
+        while self.book.steps < max_steps {
+            if self.step().is_effective()
+                && stable(&self.pop, self.faults.as_ref().expect("asserted above"))
+            {
+                return self.book.stabilized_now();
+            }
+        }
+        RunOutcome::MaxSteps {
+            steps: self.book.steps,
+        }
+    }
+
     /// Whether no pair of nodes has any effective interaction — the
     /// strongest form of stability.
     ///
@@ -359,8 +587,12 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
         }
         let n = self.pop.n();
         for u in 0..n {
+            if self.faults.as_ref().is_some_and(|fs| !fs.is_alive(u)) {
+                continue;
+            }
             for (v, active) in self.pop.edges().row(u) {
                 if v > u
+                    && self.faults.as_ref().is_none_or(|fs| fs.is_alive(v))
                     && self
                         .machine
                         .can_affect(self.pop.state(u), self.pop.state(v), Link::from(active))
@@ -394,8 +626,12 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
         }
         let n = self.pop.n();
         for u in 0..n {
+            if self.faults.as_ref().is_some_and(|fs| !fs.is_alive(u)) {
+                continue;
+            }
             for (v, active) in self.pop.edges().row(u) {
                 if v > u
+                    && self.faults.as_ref().is_none_or(|fs| fs.is_alive(v))
                     && self.machine.can_affect_edge(
                         self.pop.state(u),
                         self.pop.state(v),
@@ -445,7 +681,18 @@ impl<M: EnumerableMachine, S: Scheduler> Simulation<M, S> {
         let (index, pairs) = EffectIndex::build(&self.machine, &self.pop, table, |m: &M, s| {
             m.state_index(s)
         });
-        self.tracker = Some(Tracker { index, pairs });
+        let mut tracker = Tracker { index, pairs };
+        // The full scan admitted ghost pairs; faulted runs retire them.
+        if let Some(fs) = &self.faults {
+            for x in 0..self.pop.n() {
+                if !fs.is_alive(x) {
+                    tracker.index.set_absent(x);
+                    let zeros = vec![0u64; tracker.pairs.row_bits(x).len()];
+                    crate::engine::apply_desired_row(&mut tracker.pairs, x, &zeros);
+                }
+            }
+        }
+        self.tracker = Some(tracker);
     }
 
     /// The number of currently possibly-effective pairs, if tracking is
@@ -589,5 +836,65 @@ mod tests {
         // the output graph is empty even though edges are active.
         assert_eq!(sim.output_graph().active_count(), 0);
         assert!(sim.population().edges().active_count() > 0);
+    }
+
+    #[test]
+    fn faults_reclassify_and_converge_on_the_naive_engine() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let p = matching_protocol();
+        let a = p.state("a").unwrap();
+        let plan = FaultPlan::new(7).at(0, FaultEvent::CrashRandom);
+        let mut sim = Simulation::new_faulted(p, 8, 11, plan);
+        let out = sim.run_faulted_until(
+            |pop, fs| {
+                (0..pop.n())
+                    .filter(|&u| fs.is_alive(u) && *pop.state(u) == a)
+                    .count()
+                    <= 1
+            },
+            10_000_000,
+        );
+        assert!(out.stabilized(), "{out:?}");
+        let fs = sim.fault_state().expect("faulted");
+        assert_eq!(fs.alive_count(), 7);
+        // 7 alive nodes: 3 matched pairs and one leftover `a`.
+        assert_eq!(sim.population().edges().active_count(), 3);
+    }
+
+    #[test]
+    fn naive_stop_resume_is_coin_for_coin_identical_across_faults() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let plan = || {
+            FaultPlan::new(3)
+                .at(50, FaultEvent::CrashRandom)
+                .at(120, FaultEvent::Arrive)
+                .at(200, FaultEvent::DeleteRandomActiveEdges(2))
+        };
+        let fingerprint = |mut sim: Simulation<crate::RuleProtocol>| {
+            sim.run_faulted_to(400);
+            (
+                sim.steps(),
+                sim.effective_steps(),
+                sim.edge_events(),
+                sim.population().clone(),
+            )
+        };
+        let whole = fingerprint(Simulation::new_faulted(matching_protocol(), 10, 9, plan()));
+        let mut stopped = Simulation::new_faulted(matching_protocol(), 10, 9, plan());
+        // Interruptions on, before, and after every fault boundary: the
+        // naive engine realizes each draw, so any decomposition of the
+        // run consumes the identical coin sequence.
+        for target in [37, 120, 199, 253, 400] {
+            stopped.run_faulted_to(target);
+        }
+        assert_eq!(
+            whole,
+            (
+                stopped.steps(),
+                stopped.effective_steps(),
+                stopped.edge_events(),
+                stopped.population().clone()
+            )
+        );
     }
 }

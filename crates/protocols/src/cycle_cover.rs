@@ -107,6 +107,37 @@ mod tests {
     }
 
     #[test]
+    fn deleted_cycle_edges_are_not_repaired() {
+        use netcon_core::{Engine, FaultEvent, FaultPlan};
+        // Cycle-Cover is a one-way protocol: `q2` appears in no rule's
+        // left side, so once every node is saturated no damage to the
+        // output graph can ever be repaired. Run a seed whose final
+        // configuration is all-`q2` (a perfect cycle cover, hence
+        // quiescent), delete a random active edge, and document that
+        // nothing re-fires — the honest non-repair result.
+        let n = 8;
+        let seed = (0..50)
+            .find(|&s| {
+                let mut e = Engine::auto(protocol().compile(), n, s);
+                e.run_until(is_stable_view, 1_000_000_000)
+                    .converged_at()
+                    .expect("Cycle-Cover stabilizes");
+                e.to_population().count_where(|st| *st == Q2) == n
+            })
+            .expect("some seed leaves no residue");
+        let plan = FaultPlan::new(13).at(u64::MAX, FaultEvent::DeleteRandomActiveEdges(1));
+        let mut eng = Engine::auto_faulted(protocol().compile(), n, seed, plan);
+        eng.run_until(|v| v.count_index(2) == v.n(), 1_000_000_000)
+            .converged_at()
+            .expect("the replayed seed saturates every node to q2");
+        eng.apply_faults_now();
+        assert_eq!(eng.to_population().edges().active_count(), n - 1);
+        let eff = eng.effective_steps();
+        eng.run_faulted_to(eng.steps() + 2_000_000);
+        assert_eq!(eng.effective_steps(), eff, "no Cycle-Cover rule mentions q2");
+    }
+
+    #[test]
     fn covers_with_waste_at_most_two() {
         for n in [3, 4, 5, 6, 9] {
             for seed in 0..3 {

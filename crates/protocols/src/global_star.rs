@@ -9,7 +9,10 @@
 //! (c, p, 0) → (c, p, 1)   // centre attracts peripherals
 //! ```
 
-use netcon_core::{Link, Population, ProtocolBuilder, RuleProtocol, StateId};
+use netcon_core::{
+    EngineView, EnumerableMachine, FaultState, Link, Population, ProtocolBuilder, RuleProtocol,
+    StateId,
+};
 use netcon_graph::properties::is_spanning_star;
 
 /// `c` — centre (the initial state of every node).
@@ -38,6 +41,40 @@ pub fn is_stable(pop: &Population<StateId>) -> bool {
     centers.len() == 1
         && is_spanning_star(pop.edges())
         && pop.edges().degree(centers[0]) as usize == pop.n() - 1
+}
+
+/// [`is_stable`] over an engine-selection view
+/// ([`Engine`](netcon_core::Engine)-driven sweeps): a unique centre of
+/// full degree. State indices follow the declaration order of [`C`] and
+/// [`P`] (centre is index 0).
+#[must_use]
+pub fn is_stable_view<M: EnumerableMachine>(v: &EngineView<'_, M>) -> bool {
+    let centres = v.nodes_index(0);
+    centres.len() == 1
+        && v.active_count() == v.n() - 1
+        && v.degree(centres[0]) == v.n() - 1
+}
+
+/// [`is_stable_view`] relative to the alive population of a faulted run:
+/// a unique *alive* centre whose spokes reach every other alive node.
+/// Crashed and not-yet-arrived nodes keep degree 0, so the edge counts
+/// are over the alive subgraph automatically. The star self-repairs
+/// spoke deletions and arrivals (`(c, p, 0) → (c, p, 1)` re-fires) and
+/// survives leaf crashes unharmed; a *centre* crash leaves only
+/// peripherals, for which no rule exists, so this predicate becomes
+/// unreachable — the honest "does not self-repair" reading.
+#[must_use]
+pub fn is_stable_faulted<M: EnumerableMachine>(v: &EngineView<'_, M>, fs: &FaultState) -> bool {
+    let alive = fs.alive_count();
+    let centres: Vec<usize> = v
+        .nodes_index(0)
+        .into_iter()
+        .filter(|&u| fs.is_alive(u))
+        .collect();
+    centres.len() == 1
+        && alive >= 1
+        && v.active_count() == alive - 1
+        && v.degree(centres[0]) == alive - 1
 }
 
 #[cfg(test)]
@@ -74,6 +111,86 @@ mod tests {
             assert!(now >= 1, "a centre always survives");
             last = now;
         }
+    }
+
+    #[test]
+    fn regrows_deleted_spokes() {
+        use netcon_core::{Engine, FaultEvent, FaultPlan};
+        // Delete three random spokes of the stable star: each orphaned
+        // peripheral re-attaches through `(c, p, 0) → (c, p, 1)`.
+        let n = 12;
+        let plan = FaultPlan::new(21).at(u64::MAX, FaultEvent::DeleteRandomActiveEdges(3));
+        let mut eng = Engine::auto_faulted(protocol().compile(), n, 2, plan);
+        let fs0 = eng.fault_state().expect("faulted").clone();
+        eng.run_until(|v| is_stable_faulted(v, &fs0), 1_000_000_000)
+            .converged_at()
+            .expect("phase 1 stabilizes");
+        eng.apply_faults_now();
+        assert_eq!(eng.to_population().edges().active_count(), n - 1 - 3);
+        let eff = eng.effective_steps();
+        let fs1 = eng.fault_state().expect("faulted").clone();
+        eng.run_until(|v| is_stable_faulted(v, &fs1), eng.steps() + 1_000_000_000)
+            .converged_at()
+            .expect("the star regrows its spokes");
+        assert!(eng.effective_steps() > eff, "repair fired at least 3 rules");
+        assert!(is_stable(&eng.to_population()));
+    }
+
+    /// The node left as the unique centre by a plain run (the faulted
+    /// runs below use crash-only plans of the same capacity, so their
+    /// first phase is coin-for-coin identical and elects the same node).
+    fn stabilized_centre(n: usize, seed: u64) -> usize {
+        use netcon_core::Engine;
+        let mut eng = Engine::auto(protocol().compile(), n, seed);
+        eng.run_until(|v| v.count_index(0) == 1, 1_000_000_000)
+            .converged_at()
+            .expect("a single centre is elected");
+        eng.to_population().nodes_where(|s| *s == C)[0]
+    }
+
+    #[test]
+    fn survives_a_leaf_crash_unharmed() {
+        use netcon_core::{Engine, FaultEvent, FaultPlan};
+        let (n, seed) = (10, 4);
+        let centre = stabilized_centre(n, seed);
+        let leaf = (0..n).find(|&u| u != centre).expect("n > 1");
+        let plan = FaultPlan::new(8).at(u64::MAX, FaultEvent::Crash(leaf as u32));
+        let mut eng = Engine::auto_faulted(protocol().compile(), n, seed, plan);
+        let fs0 = eng.fault_state().expect("faulted").clone();
+        eng.run_until(|v| is_stable_faulted(v, &fs0), 1_000_000_000)
+            .converged_at()
+            .expect("phase 1 stabilizes");
+        eng.apply_faults_now();
+        // Losing a leaf costs exactly its spoke: the survivors already
+        // form a spanning star over the alive set, nothing re-fires.
+        let fs1 = eng.fault_state().expect("faulted").clone();
+        assert_eq!(fs1.alive_count(), n - 1);
+        let eff = eng.effective_steps();
+        eng.run_faulted_to(eng.steps() + 1_000_000);
+        assert_eq!(eng.effective_steps(), eff, "already stable on alive set");
+        let pop = eng.to_population();
+        assert_eq!(pop.edges().active_count(), n - 2);
+        assert_eq!(pop.edges().degree(centre) as usize, n - 2);
+    }
+
+    #[test]
+    fn centre_crash_is_not_repaired() {
+        use netcon_core::{Engine, FaultEvent, FaultPlan};
+        let (n, seed) = (10, 4);
+        let centre = stabilized_centre(n, seed);
+        let plan = FaultPlan::new(8).at(u64::MAX, FaultEvent::Crash(centre as u32));
+        let mut eng = Engine::auto_faulted(protocol().compile(), n, seed, plan);
+        let fs0 = eng.fault_state().expect("faulted").clone();
+        eng.run_until(|v| is_stable_faulted(v, &fs0), 1_000_000_000)
+            .converged_at()
+            .expect("phase 1 stabilizes");
+        eng.apply_faults_now();
+        // All spokes died with the centre; the survivors are all `p`,
+        // and no rule has a `p`-only left side that creates anything.
+        let eff = eng.effective_steps();
+        eng.run_faulted_to(eng.steps() + 2_000_000);
+        assert_eq!(eng.effective_steps(), eff, "no rule fires among peripherals");
+        assert_eq!(eng.to_population().edges().active_count(), 0);
     }
 
     #[test]

@@ -274,7 +274,7 @@ mod round_counts {
     /// round is exactly 2 (for even n), whatever the permutations and
     /// coins did. Both engines must report it on every seed — an exact
     /// (not statistical) equivalence check of the round bookkeeping.
-    fn dissolve_protocol() -> RuleProtocol {
+    pub(super) fn dissolve_protocol() -> RuleProtocol {
         let mut b = ProtocolBuilder::new("dissolve");
         let a = b.state("a");
         let m = b.state("b");
@@ -348,6 +348,385 @@ mod round_counts {
                 assert!(out.stabilized());
                 let rr = round.last_output_change_round();
                 assert_eq!((nr, rr), (1, 1), "n={n} seed={seed}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-mode equivalence: the same FaultPlan injected into every engine.
+// ---------------------------------------------------------------------
+
+mod faults {
+    use super::*;
+    use netcon::core::testing::step_budget;
+    use netcon::core::{FaultEvent, FaultPlan, FaultState};
+
+    /// Mean and sample variance of `converged_at` over faulted trials.
+    /// The fault plan derives from the *trial index only* (base 777), so
+    /// engine `k`'s trial `t` injects the identical plan — crash victims
+    /// and arrival slots included, since the alive-set evolution is
+    /// plan-determined. Engine seeds stay on disjoint streams.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_faulted(
+        protocol: &RuleProtocol,
+        stable: impl Fn(&Population<StateId>, &FaultState) -> bool,
+        sparse_stable: impl Fn(&SparsePop, &FaultState) -> bool,
+        plan_of: impl Fn(u64) -> FaultPlan,
+        n: usize,
+        trials: u64,
+        base_seed: u64,
+        kind: EngineKind,
+    ) -> (f64, f64) {
+        let compiled = protocol.compile();
+        let max = step_budget(n);
+        let samples: Vec<f64> = (0..trials)
+            .map(|t| {
+                let seed = derive2(base_seed, n as u64, t);
+                let plan = plan_of(derive2(777, n as u64, t));
+                let out = match kind {
+                    Event => EventSim::new_faulted(compiled.clone(), n, seed, plan)
+                        .run_faulted_until(|q, fs| stable(q, fs), max),
+                    Bucket => BucketSim::new_faulted(compiled.clone(), n, seed, plan)
+                        .run_faulted_until(|sp, fs| sparse_stable(sp, fs), max),
+                    Naive => Simulation::new_faulted(protocol.clone(), n, seed, plan)
+                        .run_faulted_until(|q, fs| stable(q, fs), max),
+                    Round => RoundSim::new_faulted(compiled.clone(), n, seed, plan)
+                        .run_faulted_until(|q, fs| stable(q, fs), max),
+                    NaiveShuffled => Simulation::with_scheduler_faulted(
+                        protocol.clone(),
+                        n,
+                        seed,
+                        ShuffledRounds::new(),
+                        plan,
+                    )
+                    .run_faulted_until(|q, fs| stable(q, fs), max),
+                };
+                out.converged_at().expect("stabilizes under faults") as f64
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        (mean, var)
+    }
+
+    /// The fault-mode mirror of `assert_equivalent_4way`: uniform trio
+    /// all ways, round pair head-to-head, identical plans per trial.
+    fn assert_equivalent_4way_faulted(
+        name: &str,
+        protocol: &RuleProtocol,
+        stable: impl Fn(&Population<StateId>, &FaultState) -> bool + Copy,
+        sparse_stable: impl Fn(&SparsePop, &FaultState) -> bool + Copy,
+        plan_of: impl Fn(u64) -> FaultPlan + Copy,
+        n: usize,
+        trials: u64,
+    ) {
+        let run = |base, kind| {
+            sample_faulted(protocol, stable, sparse_stable, plan_of, n, trials, base, kind)
+        };
+        let (me, ve) = run(101, Event);
+        let (mn, vn) = run(202, Naive);
+        let (mb, vb) = run(303, Bucket);
+        assert_pair(name, ("event", me, ve), ("naive", mn, vn), n, trials);
+        assert_pair(name, ("bucket", mb, vb), ("naive", mn, vn), n, trials);
+        assert_pair(name, ("bucket", mb, vb), ("event", me, ve), n, trials);
+        let (mr, vr) = run(404, Round);
+        let (ms, vs) = run(505, NaiveShuffled);
+        assert_pair(name, ("round", mr, vr), ("naive-shuffled", ms, vs), n, trials);
+    }
+
+    #[test]
+    fn matching_under_mixed_faults_matches_across_engines() {
+        // A crash mid-run, an arrival, then two random edge deletions:
+        // every reclassification path of every engine fires. The
+        // matching process stays convergent under all three damage
+        // kinds (widowed `m` nodes are terminal; fresh `a` nodes pair
+        // up), so `converged_at` is a clean sample unit.
+        let plan = |s: u64| {
+            FaultPlan::new(s)
+                .at(150, FaultEvent::CrashRandom)
+                .at(300, FaultEvent::Arrive)
+                .at(450, FaultEvent::DeleteRandomActiveEdges(2))
+        };
+        let a = StateId::new(0);
+        assert_equivalent_4way_faulted(
+            "Maximum-Matching/faulted",
+            &matching_protocol(),
+            move |q, fs| {
+                (0..q.n())
+                    .filter(|&u| fs.is_alive(u) && *q.state(u) == a)
+                    .count()
+                    <= 1
+            },
+            |sp, fs| {
+                (0..sp.n())
+                    .filter(|&u| fs.is_alive(u) && sp.state_index(u) == 0)
+                    .count()
+                    <= 1
+            },
+            plan,
+            32,
+            3_000,
+        );
+    }
+
+    #[test]
+    fn simple_global_line_absorbs_arrivals_equivalently() {
+        // Arrival-only churn keeps Simple-Global-Line convergent (the
+        // line extends from its leader endpoint), and the alive-aware
+        // edge-count predicate stays exact — see
+        // `simple_global_line::is_stable_faulted`.
+        let plan = |s: u64| {
+            FaultPlan::new(s)
+                .at(2_000, FaultEvent::Arrive)
+                .at(4_000, FaultEvent::Arrive)
+        };
+        assert_equivalent_4way_faulted(
+            "Simple-Global-Line/arrivals",
+            &simple_global_line::protocol(),
+            |q, fs| q.edges().active_count() + 1 == fs.alive_count(),
+            |sp, fs| sp.active_count() + 1 == fs.alive_count(),
+            plan,
+            10,
+            1_500,
+        );
+    }
+
+    /// Exact (not statistical) regression under a fault: dissolve with a
+    /// crash at step 0 leaves an even alive population on odd capacity,
+    /// and the two-round argument survives the ghosts — each alive pair
+    /// still occurs exactly once per (capacity-length) round, so both
+    /// round-family engines must report exactly 2 rounds on every seed.
+    #[test]
+    fn dissolve_round_counts_survive_a_crash_exactly() {
+        let p = super::round_counts::dissolve_protocol();
+        let d = p.state("c").expect("dissolved state");
+        for n in [9usize, 13] {
+            let m = (n as u64) * (n as u64 - 1) / 2;
+            for seed in 0..10u64 {
+                let plan = FaultPlan::new(derive2(55, n as u64, seed))
+                    .at(0, FaultEvent::CrashRandom);
+                let stable = |q: &Population<StateId>, fs: &FaultState| {
+                    (0..q.n()).filter(|&u| fs.is_alive(u)).all(|u| *q.state(u) == d)
+                        && q.edges().active_count() == 0
+                };
+                let mut naive = Simulation::with_scheduler_faulted(
+                    p.clone(),
+                    n,
+                    derive2(31, n as u64, seed),
+                    ShuffledRounds::new(),
+                    plan.clone(),
+                );
+                let naive_rounds = naive
+                    .run_faulted_until(stable, u64::MAX)
+                    .converged_at()
+                    .expect("stabilizes")
+                    .div_ceil(m);
+                let mut round =
+                    RoundSim::new_faulted(p.compile(), n, derive2(62, n as u64, seed), plan);
+                let round_rounds = round
+                    .run_faulted_until(stable, u64::MAX)
+                    .converged_at()
+                    .expect("stabilizes")
+                    .div_ceil(m);
+                assert_eq!(round.last_output_change_round(), round_rounds, "n={n} seed={seed}");
+                assert_eq!(
+                    (naive_rounds, round_rounds),
+                    (2, 2),
+                    "n={n} seed={seed}: dissolve minus one node still takes exactly 2 rounds"
+                );
+            }
+        }
+    }
+
+    /// Stop/resume at fault boundaries is coin-for-coin identical on
+    /// every engine: `run_faulted_to(final)` decomposes into exactly the
+    /// per-event segments the interrupted run performs, so interrupting
+    /// at the event times (and resuming) must reproduce the bit-exact
+    /// trajectory — steps, bookkeeping, states, and edges.
+    #[test]
+    fn stop_resume_at_fault_boundaries_is_coin_for_coin_identical() {
+        let p = super::matching_protocol();
+        let compiled = p.compile();
+        let n = 16;
+        let plan = || {
+            FaultPlan::new(33)
+                .at(50, FaultEvent::CrashRandom)
+                .at(120, FaultEvent::Arrive)
+                .at(200, FaultEvent::DeleteRandomActiveEdges(1))
+        };
+        let stops = [50u64, 120, 200, 400];
+        type Fp = (u64, u64, u64, Vec<StateId>, Vec<(usize, usize)>);
+        let fp = |pop: &Population<StateId>, steps: u64, eff: u64, ev: u64| -> Fp {
+            let states = (0..pop.n()).map(|u| *pop.state(u)).collect();
+            let edges = pop.edges().active_edges().collect();
+            (steps, eff, ev, states, edges)
+        };
+
+        let mut a = EventSim::new_faulted(compiled.clone(), n, 9, plan());
+        a.run_faulted_to(400);
+        let mut b = EventSim::new_faulted(compiled.clone(), n, 9, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "EventSim"
+        );
+
+        let mut a = BucketSim::new_faulted(compiled.clone(), n, 9, plan());
+        a.run_faulted_to(400);
+        let mut b = BucketSim::new_faulted(compiled.clone(), n, 9, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(&a.to_population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(&b.to_population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "BucketSim"
+        );
+
+        let mut a = RoundSim::new_faulted(compiled.clone(), n, 9, plan());
+        a.run_faulted_to(400);
+        let mut b = RoundSim::new_faulted(compiled, n, 9, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "RoundSim"
+        );
+
+        let mut a = Simulation::new_faulted(p.clone(), n, 9, plan());
+        a.run_faulted_to(400);
+        let mut b = Simulation::new_faulted(p.clone(), n, 9, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "Simulation/uniform"
+        );
+
+        let mut a = Simulation::with_scheduler_faulted(p.clone(), n, 9, ShuffledRounds::new(), plan());
+        a.run_faulted_to(400);
+        let mut b = Simulation::with_scheduler_faulted(p, n, 9, ShuffledRounds::new(), plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "Simulation/shuffled-rounds"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Brute-force candidate recomputation under random fault sequences.
+// ---------------------------------------------------------------------
+
+mod fault_bookkeeping {
+    use super::*;
+    use netcon::core::Machine;
+    use netcon::core::{FaultEvent, FaultPlan, FaultState};
+    use proptest::prelude::*;
+
+    fn plan_from(choices: &[(u64, u8)], seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        let mut crashes = 0;
+        for &(at, kind) in choices {
+            let ev = match kind % 3 {
+                0 => {
+                    // Keep at least two nodes alive for the engines.
+                    crashes += 1;
+                    if crashes > 2 {
+                        continue;
+                    }
+                    FaultEvent::CrashRandom
+                }
+                1 => FaultEvent::Arrive,
+                _ => FaultEvent::DeleteRandomActiveEdges(1 + u32::from(kind % 2)),
+            };
+            plan = plan.at(at, ev);
+        }
+        plan
+    }
+
+    /// Ordered-pair counts over the *alive* population: the exact
+    /// effective count and BucketSim's state-bucketed over-approximation
+    /// (`can_affect(·, ·, Off)` union active-`On`), recomputed from
+    /// scratch — the ground truth each engine's incremental fault
+    /// bookkeeping must match.
+    fn brute(
+        p: &netcon::core::CompiledTable,
+        pop: &Population<StateId>,
+        fs: &FaultState,
+    ) -> (u64, u64) {
+        let (mut exact, mut maybe) = (0u64, 0u64);
+        for u in 0..pop.n() {
+            for v in 0..pop.n() {
+                if u == v || !fs.is_alive(u) || !fs.is_alive(v) {
+                    continue;
+                }
+                let link = Link::from(pop.edges().is_active(u, v));
+                let (a, b) = (pop.state(u), pop.state(v));
+                if p.can_affect(a, b, link) {
+                    exact += 1;
+                }
+                if p.can_affect(a, b, Link::Off)
+                    || (link == Link::On && p.can_affect(a, b, Link::On))
+                {
+                    maybe += 1;
+                }
+            }
+        }
+        (exact, maybe)
+    }
+
+    proptest! {
+        /// After an arbitrary interleaving of steps, crashes, arrivals,
+        /// and edge deletions, every engine's candidate structure equals
+        /// a brute-force recomputation over the alive population — and
+        /// RoundSim's lazy pool partition still accounts for every pair
+        /// of the current round.
+        #[test]
+        fn candidate_structures_track_faults_exactly(
+            n in 4usize..14,
+            seed in any::<u64>(),
+            plan_seed in any::<u64>(),
+            choices in proptest::collection::vec((0u64..220, any::<u8>()), 0..6),
+        ) {
+            let p = super::matching_protocol().compile();
+            let plan = plan_from(&choices, plan_seed);
+
+            let mut ev = EventSim::new_faulted(p.clone(), n, seed, plan.clone());
+            let mut bu = BucketSim::new_faulted(p.clone(), n, seed, plan.clone());
+            let mut rs = RoundSim::new_faulted(p.clone(), n, seed, plan);
+
+            for target in [120u64, 260] {
+                ev.run_faulted_to(target);
+                bu.run_faulted_to(target);
+                rs.run_faulted_to(target);
+
+                let (exact_e, _) =
+                    brute(&p, ev.population(), ev.fault_state().expect("faulted"));
+                prop_assert_eq!(2 * ev.effective_pairs() as u64, exact_e);
+
+                let bp = bu.to_population();
+                let bfs = bu.fault_state().expect("faulted").clone();
+                let (_, maybe_b) = brute(&p, &bp, &bfs);
+                prop_assert_eq!(bu.candidate_weight(), maybe_b);
+
+                let (exact_r, _) =
+                    brute(&p, rs.population(), rs.fault_state().expect("faulted"));
+                prop_assert_eq!(2 * rs.effective_pairs() as u64, exact_r);
+                prop_assert!(rs.pool_invariant_holds());
             }
         }
     }
