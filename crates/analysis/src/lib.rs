@@ -10,6 +10,9 @@
 //!   population sizes, in parallel (crossbeam scoped threads);
 //! * [`repair`] — perturb a stabilized network with a seeded fault burst
 //!   and measure the steps to re-stabilize, on any engine;
+//! * [`availability`] — fraction-of-draws-stable under a sustained
+//!   [`ChurnPlan`](netcon_core::ChurnPlan) stream, plus
+//!   time-to-first-repair once the stream ends;
 //! * [`fit`] — least-squares log–log fits to estimate the polynomial
 //!   exponent of a measured time curve, with and without a `log n`
 //!   correction term.
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod fit;
 pub mod repair;
 pub mod stats;

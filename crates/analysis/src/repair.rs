@@ -50,15 +50,33 @@ impl Default for FaultSeverity {
 impl FaultSeverity {
     /// Parses the compact `"crashes,arrivals,edge_deletions"` form used
     /// by the bench harness's severity knob (e.g. `"2,1,3"`).
-    #[must_use]
-    pub fn parse(s: &str) -> Option<Self> {
-        let mut parts = s.split(',').map(|p| p.trim().parse::<u32>().ok());
-        let severity = Self {
-            crashes: parts.next()??,
-            arrivals: parts.next()??,
-            edge_deletions: parts.next()??,
-        };
-        parts.next().is_none().then_some(severity)
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field (or the arity
+    /// problem) and the expected format — surfaced verbatim when a bad
+    /// `NETCON_FAULT_SEVERITY` value reaches the bench harness.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        const FORMAT: &str = "expected \"crashes,arrivals,edge_deletions\" (e.g. \"2,1,3\")";
+        const FIELDS: [&str; 3] = ["crashes", "arrivals", "edge_deletions"];
+        let parts: Vec<&str> = s.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "got {} comma-separated field(s) in {s:?}; {FORMAT}",
+                parts.len()
+            ));
+        }
+        let mut values = [0u32; 3];
+        for ((raw, name), out) in parts.iter().zip(FIELDS).zip(&mut values) {
+            *out = raw.trim().parse::<u32>().map_err(|e| {
+                format!("bad {name} field {:?} in {s:?} ({e}); {FORMAT}", raw.trim())
+            })?;
+        }
+        Ok(Self {
+            crashes: values[0],
+            arrivals: values[1],
+            edge_deletions: values[2],
+        })
     }
 
     /// The [`FaultPlan`] realizing this severity, reproducible from
@@ -202,9 +220,21 @@ mod tests {
             }
         );
         assert_eq!(s.plan(7).arrival_count(), 1);
-        assert!(FaultSeverity::parse("2,1").is_none());
-        assert!(FaultSeverity::parse("2,1,x").is_none());
-        assert!(FaultSeverity::parse("2,1,3,4").is_none());
+        assert!(FaultSeverity::parse(" 0 , 4 , 2 ").is_ok(), "whitespace ok");
+    }
+
+    #[test]
+    fn severity_parse_errors_name_the_field() {
+        let e = FaultSeverity::parse("2,1").unwrap_err();
+        assert!(e.contains("2 comma-separated field(s)"), "{e}");
+        assert!(e.contains("crashes,arrivals,edge_deletions"), "{e}");
+        let e = FaultSeverity::parse("2,1,x").unwrap_err();
+        assert!(e.contains("edge_deletions"), "{e}");
+        assert!(e.contains("\"x\""), "{e}");
+        let e = FaultSeverity::parse("2,-1,3").unwrap_err();
+        assert!(e.contains("arrivals"), "{e}");
+        let e = FaultSeverity::parse("2,1,3,4").unwrap_err();
+        assert!(e.contains("4 comma-separated field(s)"), "{e}");
     }
 
     #[test]

@@ -34,9 +34,8 @@ fn matching_protocol() -> RuleProtocol {
 /// The burst severity from `NETCON_FAULT_SEVERITY`, default `1,1,1`.
 fn severity_from_env() -> FaultSeverity {
     match std::env::var("NETCON_FAULT_SEVERITY") {
-        Ok(s) => FaultSeverity::parse(&s).unwrap_or_else(|| {
-            panic!("NETCON_FAULT_SEVERITY must be \"crashes,arrivals,edge_deletions\", got {s:?}")
-        }),
+        Ok(s) => FaultSeverity::parse(&s)
+            .unwrap_or_else(|e| panic!("invalid NETCON_FAULT_SEVERITY: {e}")),
         Err(_) => FaultSeverity::default(),
     }
 }

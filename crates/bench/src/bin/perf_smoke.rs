@@ -1,7 +1,8 @@
 //! Executes every bench target (not just compiles them) and writes
-//! `BENCH_PR6.json`: per-bench wall-clock, the engine speedup records
+//! `BENCH_PR8.json`: per-bench wall-clock, the engine speedup records
 //! (uniform *and* ShuffledRounds), per-engine measured memory, the
-//! fault-layer repair-time record (`perturbation_frontier`), and the
+//! fault-layer repair-time record (`perturbation_frontier`), the
+//! continuous-churn availability record (`churn_frontier`), and the
 //! frontier ladders — plus an optional regression gate against a
 //! committed baseline. `crates/bench/README.md` documents the JSON
 //! schema, the carry-forward rules, and the `--check` semantics.
@@ -9,16 +10,17 @@
 //! ```sh
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke -- \
-//!     --out bench-smoke.json --check BENCH_PR6.json   # CI gate
+//!     --out bench-smoke.json --check BENCH_PR8.json   # CI gate
 //! ```
 //!
 //! `NETCON_BENCH_SCALE` (percent) is inherited by the spawned bench
 //! processes and by the in-process engine measurement; CI uses the
 //! minimum (1) so the whole suite stays in smoke-test territory. The
-//! output path defaults to `BENCH_PR6.json` in the workspace root
-//! (`--out <path>` overrides). The `perturbation_frontier` section is
-//! cheap and always regenerated live; `NETCON_FAULT_SEVERITY` and
-//! `NETCON_FAULT_TRIALS` shape its fault burst and trial count.
+//! output path defaults to `BENCH_PR8.json` in the workspace root
+//! (`--out <path>` overrides). The `perturbation_frontier` and
+//! `churn_frontier` sections are cheap and always regenerated live;
+//! `NETCON_FAULT_SEVERITY` / `NETCON_FAULT_TRIALS` shape the fault
+//! burst, `NETCON_CHURN_RATE` / `NETCON_CHURN_TRIALS` the churn stream.
 //!
 //! `--check <baseline.json>` compares this run's per-bench wall-clock
 //! against the baseline's `benches` section and exits non-zero when any
@@ -41,6 +43,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
+use netcon_analysis::availability::sweep_availability;
 use netcon_analysis::repair::{sweep_repair_time, FaultSeverity};
 use netcon_analysis::sweep::SweepConfig;
 use netcon_bench::harness::scale;
@@ -48,9 +51,12 @@ use netcon_bench::speedup::{
     bucket_stats, compare_engines, compare_round_engines, Comparison,
 };
 use netcon_core::{
-    BucketSim, CompiledTable, EventSim, Link, ProtocolBuilder, RoundSim, Simulation, SparsePop,
+    BucketSim, ChurnPlan, CompiledTable, EventSim, Link, ProtocolBuilder, RoundSim, Simulation,
+    SparsePop,
 };
-use netcon_protocols::{cycle_cover, fast_global_line, global_star, simple_global_line};
+use netcon_protocols::{
+    cycle_cover, fast_global_line, ft_line, ft_star, global_star, simple_global_line,
+};
 
 fn bench_targets(bench_dir: &Path) -> Vec<String> {
     let mut names: Vec<String> = std::fs::read_dir(bench_dir)
@@ -343,9 +349,8 @@ fn round_frontier_section() -> String {
 /// blind spot. `NETCON_FAULT_TRIALS` overrides the trial count.
 fn perturbation_frontier_section() -> String {
     let severity = match std::env::var("NETCON_FAULT_SEVERITY") {
-        Ok(s) => FaultSeverity::parse(&s).unwrap_or_else(|| {
-            panic!("NETCON_FAULT_SEVERITY must be \"crashes,arrivals,edge_deletions\", got {s:?}")
-        }),
+        Ok(s) => FaultSeverity::parse(&s)
+            .unwrap_or_else(|e| panic!("invalid NETCON_FAULT_SEVERITY: {e}")),
         Err(_) => FaultSeverity::default(),
     };
     let trials = std::env::var("NETCON_FAULT_TRIALS")
@@ -418,6 +423,96 @@ fn perturbation_frontier_section() -> String {
                 s,
                 "        {{ \"n\": {}, \"mean_repair_steps\": {:.1}, \"sd\": {:.1}, \"median\": {:.1}, \"max\": {:.0} }}{comma}",
                 row.n, row.summary.mean, row.summary.std_dev, row.summary.median, row.summary.max
+            );
+        }
+        let _ = write!(s, "      ]\n    }}");
+    }
+    s.push_str("\n  }");
+    s
+}
+
+/// The continuous-churn availability record:
+/// [`sweep_availability`] on the two fault-tolerant constructors (the
+/// same pair the `churn_frontier` bench target prints): FT-Global-Star
+/// re-electing through crashes, FT-Spanning-Line paying a restart wave
+/// per crash. Cheap at these sizes, so it regenerates live on every
+/// run, including CI's scale-1 smoke. `NETCON_CHURN_RATE` sets the
+/// symmetric per-draw rate (default `1e-4`); `NETCON_CHURN_TRIALS`
+/// overrides the trial count.
+fn churn_frontier_section() -> String {
+    let rate: f64 = match std::env::var("NETCON_CHURN_RATE") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid NETCON_CHURN_RATE {s:?}: {e}")),
+        Err(_) => 1e-4,
+    };
+    let trials = std::env::var("NETCON_CHURN_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| scale(40).max(4));
+
+    // Same shapes as the bench target: the star converges fast enough
+    // for many stable windows at a 60k horizon; the line runs smaller
+    // and longer because every crash costs a restart-wave rebuild.
+    let star_cfg = SweepConfig {
+        sizes: vec![16, 32],
+        trials,
+        base_seed: 83,
+    };
+    let star_churn = ChurnPlan::new(0)
+        .arrival_rate(rate)
+        .departure_rate(rate)
+        .min_alive(8)
+        .horizon(60_000);
+    let star = sweep_availability(
+        &star_cfg,
+        &ft_star::protocol(),
+        star_churn,
+        ft_star::is_stable_faulted,
+        u64::MAX,
+    );
+    let line_cfg = SweepConfig {
+        sizes: vec![10, 14],
+        trials,
+        base_seed: 89,
+    };
+    let line_churn = ChurnPlan::new(0)
+        .arrival_rate(rate)
+        .departure_rate(rate)
+        .min_alive(5)
+        .horizon(150_000);
+    let line = sweep_availability(
+        &line_cfg,
+        &ft_line::protocol(),
+        line_churn,
+        ft_line::is_stable_faulted,
+        u64::MAX,
+    );
+
+    let mut s = String::from("  \"churn_frontier\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"mean fraction of draws with a stable output under sustained Poisson churn (netcon_analysis::availability); regenerated live on every run — NETCON_CHURN_RATE and NETCON_CHURN_TRIALS shape it\","
+    );
+    let mut first = true;
+    for (key, horizon, table) in [
+        ("ft_global_star", 60_000u64, &star),
+        ("ft_spanning_line", 150_000u64, &line),
+    ] {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let _ = writeln!(
+            s,
+            "    \"{key}\": {{\n      \"rate_per_draw_each_way\": {rate:e},\n      \"horizon_draws\": {horizon},\n      \"trials\": {trials},\n      \"rows\": [",
+        );
+        for (i, row) in table.rows.iter().enumerate() {
+            let comma = if i + 1 < table.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{ \"n\": {}, \"mean_fraction_available\": {:.4}, \"sd\": {:.4}, \"min\": {:.4} }}{comma}",
+                row.n, row.summary.mean, row.summary.std_dev, row.summary.min
             );
         }
         let _ = write!(s, "      ]\n    }}");
@@ -500,7 +595,7 @@ fn main() {
         }
         (
             out.unwrap_or_else(|| {
-                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json")
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json")
             }),
             check,
         )
@@ -630,9 +725,12 @@ fn main() {
     println!("==> perturbation frontier (fault-layer repair sweeps)");
     let perturbation_section = perturbation_frontier_section();
 
+    println!("==> churn frontier (availability under sustained Poisson churn)");
+    let churn_section = churn_frontier_section();
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(json, "  \"pr\": 8,");
     let _ = writeln!(json, "  \"bench_scale_pct\": \"{scale_pct}\",");
     json.push_str("  \"benches\": [\n");
     for (i, (name, wall)) in rows.iter().enumerate() {
@@ -655,6 +753,8 @@ fn main() {
     json.push_str(&round_section);
     json.push_str(",\n");
     json.push_str(&perturbation_section);
+    json.push_str(",\n");
+    json.push_str(&churn_section);
     if let Some(section) = frontier {
         json.push_str(",\n");
         json.push_str(&section);

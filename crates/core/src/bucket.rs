@@ -905,7 +905,11 @@ impl<M: EnumerableMachine> BucketSim<M> {
         match resolved {
             ResolvedFault::Noop => return,
             ResolvedFault::Crash(x) => {
-                let neighbors: Vec<usize> = self.sp.neighbors(x).collect();
+                // The sparse adjacency lists neighbors in arbitrary
+                // order; notifications are specified in ascending node
+                // order, so sort before shedding edges.
+                let mut neighbors: Vec<usize> = self.sp.neighbors(x).collect();
+                neighbors.sort_unstable();
                 for &w in &neighbors {
                     let on_pos = self.sp.set_edge(x, w, false);
                     if on_pos != NOT_ON {
@@ -917,6 +921,16 @@ impl<M: EnumerableMachine> BucketSim<M> {
                 if !neighbors.is_empty() {
                     self.book.edge_events += neighbors.len() as u64;
                     self.book.last_output_change = self.book.steps;
+                }
+                // Crash notifications: pure bucket moves plus on-list
+                // refreshes for the notified nodes' surviving edges.
+                for &w in &neighbors {
+                    let su = self.sp.state_index(w);
+                    if let Some(new) = self.machine.notify_indexed(su) {
+                        if self.sp.set_state_index(w, new) {
+                            self.refresh_on_incident(w);
+                        }
+                    }
                 }
             }
             ResolvedFault::Arrive(x) => {

@@ -66,6 +66,15 @@ pub trait EnumerableMachine: Machine {
         EffectTable::of(self)
     }
 
+    /// [`Machine::on_crash_notify`] over dense indices. The default
+    /// routes through the state-typed hook; compiled machines override
+    /// it with a direct table load. Must stay consistent with the hook —
+    /// the engines use whichever form fits their representation.
+    fn notify_indexed(&self, state: usize) -> Option<usize> {
+        self.on_crash_notify(&self.state_at(state))
+            .map(|s| self.state_index(&s))
+    }
+
     /// [`Machine::interact`] over dense indices with a monomorphic
     /// generator. The default routes through `interact`; compiled
     /// machines override it with a direct table walk.
@@ -289,6 +298,9 @@ pub struct CompiledTable {
     /// protocol's).
     alts: Vec<(u32, Packed)>,
     effects: EffectTable,
+    /// Per-state crash-notification target (`None` = ignore), lowered
+    /// from the protocol's `on_crash` declarations.
+    notify: Vec<Option<u16>>,
 }
 
 impl CompiledTable {
@@ -343,6 +355,13 @@ impl CompiledTable {
             slots,
             alts,
             effects: EffectTable::of(protocol),
+            notify: (0..size)
+                .map(|i| {
+                    protocol
+                        .crash_notify_target(StateId::new(i as u16))
+                        .map(|s| s.index() as u16)
+                })
+                .collect(),
         }
     }
 
@@ -406,6 +425,10 @@ impl Machine for CompiledTable {
     fn can_affect_edge(&self, a: &StateId, b: &StateId, link: Link) -> bool {
         self.effects.can_affect_edge(a.index(), b.index(), link)
     }
+
+    fn on_crash_notify(&self, state: &StateId) -> Option<StateId> {
+        self.notify[state.index()].map(StateId::new)
+    }
 }
 
 impl EnumerableMachine for CompiledTable {
@@ -415,6 +438,10 @@ impl EnumerableMachine for CompiledTable {
 
     fn effect_table(&self) -> EffectTable {
         self.effects.clone()
+    }
+
+    fn notify_indexed(&self, state: usize) -> Option<usize> {
+        self.notify[state].map(usize::from)
     }
 
     fn state_index(&self, state: &StateId) -> usize {
@@ -526,6 +553,31 @@ mod tests {
                 }
             }
         }
+        for s in 0..p.size() as u16 {
+            let s = StateId::new(s);
+            assert_eq!(p.on_crash_notify(&s), c.on_crash_notify(&s));
+        }
+    }
+
+    #[test]
+    fn crash_notify_lowers_into_the_table() {
+        let mut b = ProtocolBuilder::new("notify");
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let q2 = b.state("q2");
+        b.rule((q0, q0, OFF), (q0, q1, ON));
+        b.on_crash(q1, q0).on_crash(q2, q1);
+        let p = b.build().expect("valid");
+        let c = p.compile();
+        for s in [q0, q1, q2] {
+            assert_eq!(c.on_crash_notify(&s), p.on_crash_notify(&s));
+            assert_eq!(
+                c.notify_indexed(s.index()),
+                p.on_crash_notify(&s).map(|t| t.index())
+            );
+        }
+        assert_eq!(c.on_crash_notify(&q0), None);
+        assert_eq!(c.on_crash_notify(&q2), Some(q1));
     }
 
     #[test]

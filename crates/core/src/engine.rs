@@ -538,6 +538,21 @@ impl<M: Machine> EffectIndex<M> {
             + self.table.approx_mem_bytes()
     }
 
+    /// Updates the index after a *state-only* change of node `u` (a
+    /// crash notification): re-derives `u`'s state index and rescans its
+    /// incident pair row. The single-node analogue of
+    /// [`on_interaction`](EffectIndex::on_interaction).
+    pub fn on_state_change(
+        &mut self,
+        machine: &M,
+        pop: &Population<M::State>,
+        pairs: &mut PairSet,
+        u: usize,
+    ) {
+        self.reindex(machine, pop, u);
+        self.rescan(pop, pairs, u);
+    }
+
     /// Updates the index after an effective interaction between `u` and
     /// `v`: re-derives both state indices and rescans the two incident
     /// pair rows (O(n), word-parallel for small machines).

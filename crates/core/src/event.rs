@@ -575,8 +575,8 @@ impl<M: Machine> EventSim<M> {
 
     /// Retires node `x` from the candidate structures: deactivates its
     /// incident active edges, clears its pair row, and marks it absent
-    /// in the index. Returns the number of edges deleted.
-    fn detach_node(&mut self, x: usize) -> u64 {
+    /// in the index. Returns the former neighbors, in ascending order.
+    fn detach_node(&mut self, x: usize) -> Vec<usize> {
         let neighbors: Vec<usize> = self.pop.edges().neighbors(x).collect();
         for &w in &neighbors {
             self.pop.edges_mut().set(x, w, false);
@@ -589,7 +589,7 @@ impl<M: Machine> EventSim<M> {
         }
         let zeros = vec![0u64; self.pairs.row_bits(x).len()];
         apply_desired_row(&mut self.pairs, x, &zeros);
-        neighbors.len() as u64
+        neighbors
     }
 
     /// Applies one resolved fault event (alive flags already flipped by
@@ -599,10 +599,24 @@ impl<M: Machine> EventSim<M> {
         match resolved {
             ResolvedFault::Noop => {}
             ResolvedFault::Crash(x) => {
-                let deleted = self.detach_node(x);
-                if deleted > 0 {
-                    self.book.edge_events += deleted;
+                let neighbors = self.detach_node(x);
+                if !neighbors.is_empty() {
+                    self.book.edge_events += neighbors.len() as u64;
                     self.book.last_output_change = self.book.steps;
+                }
+                // Crash notifications, in ascending node order (see
+                // `Machine::on_crash_notify`): state-only changes, so
+                // only the notified node's pair row needs rescanning.
+                for &w in &neighbors {
+                    if let Some(s2) = self.machine.on_crash_notify(self.pop.state(w)) {
+                        if *self.pop.state(w) != s2 {
+                            self.pop.set_state(w, s2);
+                            let Effects::Indexed { index, .. } = &mut self.effects else {
+                                unreachable!("faulted EventSim always uses the indexed backend")
+                            };
+                            index.on_state_change(&self.machine, &self.pop, &mut self.pairs, w);
+                        }
+                    }
                 }
             }
             ResolvedFault::Arrive(x) => {

@@ -44,7 +44,7 @@
 //!   trajectory-exact across engines.
 
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
 
 use crate::seeds;
 
@@ -119,6 +119,17 @@ impl FaultPlan {
         self
     }
 
+    /// Builds a plan from an explicit `(time, event)` list in one shot.
+    /// The list is stably sorted by time, so events handed in at equal
+    /// times keep their relative order — a misordered input can never
+    /// produce an out-of-order schedule (which would silently skew
+    /// paired-statistics comparisons across engines).
+    #[must_use]
+    pub fn from_events(seed: u64, mut events: Vec<(u64, FaultEvent)>) -> Self {
+        events.sort_by_key(|&(t, _)| t);
+        Self { seed, events }
+    }
+
     /// The scheduled `(time, event)` pairs, sorted by time.
     #[must_use]
     pub fn events(&self) -> &[(u64, FaultEvent)] {
@@ -158,6 +169,160 @@ impl FaultPlan {
     fn event_rng(&self, i: usize) -> SmallRng {
         SmallRng::seed_from_u64(seeds::derive2(self.seed, i as u64, self.events[i].0))
     }
+}
+
+/// A continuous-churn generator: a merged Poisson stream of node
+/// arrivals and departures, compiled into a draw-indexed [`FaultPlan`].
+///
+/// Inter-event gaps are exponential with rate `arrival_rate +
+/// departure_rate` (events per scheduler draw); each event is then
+/// *thinned* into an arrival or a departure proportionally to its rate
+/// — the standard superposition construction, so arrivals and
+/// departures are themselves independent Poisson streams. Event times
+/// accumulate in continuous time and are discretized to draw indices,
+/// so several events may share a draw (they apply in stream order).
+///
+/// Because the compiled plan is an ordinary [`FaultPlan`], all four
+/// engines execute the churn through the existing ghost-node machinery:
+/// the draw space is pre-sized to `base_n + arrivals` and no skip-law
+/// denominator ever moves, so sustained churn inherits every exactness
+/// guarantee of one-shot bursts (see the [module docs](self)).
+///
+/// The optional `min_alive` floor models a steady-state population:
+/// departures the floor would forbid are *dropped from the stream*
+/// (arrivals are never dropped). The generator can track the alive
+/// count exactly without running anything, because every emitted
+/// departure is a [`FaultEvent::CrashRandom`] scheduled while the
+/// count is above the floor — it always finds a victim.
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::ChurnPlan;
+///
+/// let plan = ChurnPlan::new(42)
+///     .arrival_rate(1e-3)
+///     .departure_rate(1e-3)
+///     .min_alive(8)
+///     .horizon(100_000)
+///     .compile(20);
+/// assert!(plan.events().iter().all(|&(t, _)| t < 100_000));
+/// // Same knobs + seed ⇒ the identical plan, on every engine.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPlan {
+    seed: u64,
+    arrival_rate: f64,
+    departure_rate: f64,
+    horizon: u64,
+    min_alive: Option<usize>,
+}
+
+impl ChurnPlan {
+    /// Creates a churn generator with zero rates and an empty horizon;
+    /// `seed` drives both the stream and the compiled plan's per-event
+    /// randomness.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            arrival_rate: 0.0,
+            departure_rate: 0.0,
+            horizon: 0,
+            min_alive: None,
+        }
+    }
+
+    /// Sets the expected number of node arrivals per scheduler draw.
+    #[must_use]
+    pub fn arrival_rate(mut self, per_draw: f64) -> Self {
+        self.arrival_rate = per_draw;
+        self
+    }
+
+    /// Sets the expected number of node departures (crashes of a
+    /// uniformly random alive node) per scheduler draw.
+    #[must_use]
+    pub fn departure_rate(mut self, per_draw: f64) -> Self {
+        self.departure_rate = per_draw;
+        self
+    }
+
+    /// Sets the stream horizon: events are generated for draw indices
+    /// `0..draws` (a bounded horizon is what lets the compiled plan
+    /// know its arrival count — and hence the draw-space capacity — up
+    /// front).
+    #[must_use]
+    pub fn horizon(mut self, draws: u64) -> Self {
+        self.horizon = draws;
+        self
+    }
+
+    /// Sets the steady-state alive-count floor: departures that would
+    /// take the population below `floor` are dropped from the stream.
+    #[must_use]
+    pub fn min_alive(mut self, floor: usize) -> Self {
+        self.min_alive = Some(floor);
+        self
+    }
+
+    /// The same rate knobs under a different seed — how sweeps derive
+    /// an independent churn stream per trial.
+    #[must_use]
+    pub fn reseeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Compiles the stream into a draw-indexed [`FaultPlan`] for a
+    /// population of `base_n` initially-present nodes. Deterministic in
+    /// `(knobs, seed, base_n)` — every engine replaying the result sees
+    /// the same nodes churn at the same draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or non-finite.
+    #[must_use]
+    pub fn compile(&self, base_n: usize) -> FaultPlan {
+        assert!(
+            self.arrival_rate.is_finite() && self.arrival_rate >= 0.0,
+            "arrival rate must be finite and non-negative"
+        );
+        assert!(
+            self.departure_rate.is_finite() && self.departure_rate >= 0.0,
+            "departure rate must be finite and non-negative"
+        );
+        let total = self.arrival_rate + self.departure_rate;
+        let mut events = Vec::new();
+        if total > 0.0 && self.horizon > 0 {
+            let mut rng = SmallRng::seed_from_u64(self.seed);
+            let floor = self.min_alive.unwrap_or(0);
+            let mut alive = base_n;
+            let mut t = 0.0_f64;
+            loop {
+                t += -unit_open01(&mut rng).ln() / total;
+                // `t` is monotone (each gap is a finite positive f64),
+                // so the first overshoot ends the stream.
+                if t >= self.horizon as f64 {
+                    break;
+                }
+                if unit_open01(&mut rng) * total <= self.arrival_rate {
+                    events.push((t as u64, FaultEvent::Arrive));
+                    alive += 1;
+                } else if alive > floor {
+                    events.push((t as u64, FaultEvent::CrashRandom));
+                    alive -= 1;
+                }
+            }
+        }
+        FaultPlan::from_events(self.seed, events)
+    }
+}
+
+/// A uniform draw from the half-open interval (0, 1] — strictly
+/// positive, so its logarithm is finite (the exponential-gap draw).
+fn unit_open01(rng: &mut SmallRng) -> f64 {
+    (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
 }
 
 /// A plan event with its randomness resolved against the current alive
@@ -215,6 +380,11 @@ impl FaultState {
     /// as not-yet-arrived ghosts.
     #[must_use]
     pub fn new(plan: FaultPlan, base_n: usize) -> Self {
+        debug_assert!(
+            plan.events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "fault plan times must be non-decreasing (build plans via \
+             `at` or `from_events`, which keep the schedule sorted)"
+        );
         let capacity = base_n + plan.arrival_count();
         let mut alive = vec![true; capacity];
         alive[base_n..].fill(false);
@@ -441,6 +611,126 @@ mod tests {
         assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Noop)));
         assert_eq!(fs.alive_count(), 3);
         assert_eq!(fs.next_at(), None);
+    }
+
+    #[test]
+    fn from_events_sorts_misordered_input() {
+        // Regression: a misordered event list must never survive into
+        // the schedule (an out-of-order plan would make `next_at`
+        // non-monotone and skew paired-statistics comparisons).
+        let plan = FaultPlan::from_events(
+            3,
+            vec![
+                (90, FaultEvent::Crash(0)),
+                (10, FaultEvent::Arrive),
+                (90, FaultEvent::CrashRandom),
+                (0, FaultEvent::DeleteEdge(0, 1)),
+            ],
+        );
+        let times: Vec<u64> = plan.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0, 10, 90, 90]);
+        // The stable sort keeps the relative order at equal times.
+        assert_eq!(plan.events()[2].1, FaultEvent::Crash(0));
+        assert_eq!(plan.events()[3].1, FaultEvent::CrashRandom);
+        // And the result is accepted by the monotonicity check.
+        let fs = FaultState::new(plan, 5);
+        assert_eq!(fs.next_at(), Some(0));
+    }
+
+    #[test]
+    fn empty_plan_edge_cases() {
+        let mut fs = FaultState::new(FaultPlan::new(0), 7);
+        assert_eq!(fs.capacity(), 7);
+        assert_eq!(fs.next_at(), None);
+        assert!(fs.resolve_next().is_none());
+        let projected = fs.project_final();
+        assert_eq!(projected.alive_count(), 7);
+        assert_eq!(projected.applied(), 0);
+    }
+
+    #[test]
+    fn exhausted_plan_edge_cases() {
+        let plan = FaultPlan::new(8)
+            .at(2, FaultEvent::CrashRandom)
+            .at(4, FaultEvent::Arrive);
+        let mut fs = FaultState::new(plan, 5);
+        while fs.resolve_next().is_some() {}
+        assert_eq!(fs.applied(), 2);
+        assert_eq!(fs.next_at(), None, "exhausted plan has no next event");
+        // Projecting an exhausted state is the identity.
+        let projected = fs.project_final();
+        assert_eq!(projected.alive_count(), fs.alive_count());
+        assert_eq!(projected.applied(), fs.applied());
+        for u in 0..fs.capacity() {
+            assert_eq!(projected.is_alive(u), fs.is_alive(u));
+        }
+    }
+
+    #[test]
+    fn arrival_only_plan_edge_cases() {
+        let plan = FaultPlan::new(2)
+            .at(1, FaultEvent::Arrive)
+            .at(3, FaultEvent::Arrive)
+            .at(6, FaultEvent::Arrive);
+        let fs = FaultState::new(plan, 4);
+        assert_eq!(fs.capacity(), 7);
+        assert_eq!(fs.alive_count(), 4);
+        assert_eq!(fs.next_at(), Some(1));
+        let projected = fs.project_final();
+        assert_eq!(projected.alive_count(), 7, "every ghost slot fills");
+        assert!((4..7).all(|u| projected.is_alive(u)));
+    }
+
+    #[test]
+    fn churn_compilation_is_deterministic() {
+        let churn = ChurnPlan::new(11)
+            .arrival_rate(2e-3)
+            .departure_rate(1e-3)
+            .horizon(50_000);
+        let a = churn.compile(20);
+        let b = churn.compile(20);
+        assert_eq!(a, b, "same knobs + seed ⇒ identical plan");
+        assert!(!a.is_empty(), "these rates produce ~150 expected events");
+        assert!(a.events().iter().all(|&(t, _)| t < 50_000));
+        assert!(a.events().windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(a.events().iter().all(|&(_, e)| matches!(
+            e,
+            FaultEvent::Arrive | FaultEvent::CrashRandom
+        )));
+        // A different seed reshuffles the stream.
+        assert_ne!(
+            a,
+            ChurnPlan::new(12)
+                .arrival_rate(2e-3)
+                .departure_rate(1e-3)
+                .horizon(50_000)
+                .compile(20)
+        );
+    }
+
+    #[test]
+    fn churn_floor_keeps_population_above_min_alive() {
+        // Departure-heavy stream against a floor: the replayed alive
+        // count must never dip below it.
+        let plan = ChurnPlan::new(5)
+            .arrival_rate(5e-4)
+            .departure_rate(5e-3)
+            .min_alive(6)
+            .horizon(100_000)
+            .compile(10);
+        let mut fs = FaultState::new(plan, 10);
+        let mut saw_floor = false;
+        while fs.resolve_next().is_some() {
+            assert!(fs.alive_count() >= 6, "floor violated");
+            saw_floor |= fs.alive_count() == 6;
+        }
+        assert!(saw_floor, "stream heavy enough to reach the floor");
+    }
+
+    #[test]
+    fn churn_zero_rate_or_horizon_is_empty() {
+        assert!(ChurnPlan::new(1).horizon(10_000).compile(8).is_empty());
+        assert!(ChurnPlan::new(1).arrival_rate(0.5).compile(8).is_empty());
     }
 
     #[test]

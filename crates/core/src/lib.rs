@@ -45,8 +45,9 @@
 //! * [`select`] — [`Engine::auto`] / [`Engine::auto_for`], which pick an
 //!   engine for a scheduler family by a memory budget and run predicates
 //!   over a representation-neutral [`EngineView`];
-//! * [`fault`] — [`FaultPlan`] / [`FaultState`], the deterministic
-//!   seed-derived fault/churn layer (crashes, arrivals, edge deletions)
+//! * [`fault`] — [`FaultPlan`] / [`FaultState`] / [`ChurnPlan`], the
+//!   deterministic seed-derived fault/churn layer (crashes, arrivals,
+//!   edge deletions, sustained Poisson churn, crash notifications)
 //!   shared by all four engines with exact candidate reclassification.
 //!
 //! # Choosing an engine
@@ -112,7 +113,7 @@ pub use engine::{
     geometric_skip, hypergeometric_count, hypergeometric_skip, unit_open01, PairSet,
 };
 pub use event::{EventSim, EventStep};
-pub use fault::{FaultEvent, FaultPlan, FaultState};
+pub use fault::{ChurnPlan, FaultEvent, FaultPlan, FaultState};
 pub use round::RoundSim;
 pub use select::{Engine, EngineView, SchedulerKind};
 pub use machine::Machine;

@@ -76,4 +76,22 @@ pub trait Machine {
     fn can_affect_edge(&self, a: &Self::State, b: &Self::State, link: Link) -> bool {
         self.can_affect(a, b, link)
     }
+
+    /// The crash-notification transition of the fault-notification model
+    /// ("Fault Tolerant Network Constructors", arXiv 1903.05992): when a
+    /// node crashes, each alive node that *lost an active edge* to it is
+    /// notified, and its state is remapped by this function — a
+    /// deterministic, machine-defined adjunct to δ that consumes no
+    /// randomness.
+    ///
+    /// Returning `None` (the default) means the machine ignores crash
+    /// notifications: the state is left unchanged, which reproduces the
+    /// paper's silent-crash model where no baseline constructor can
+    /// self-repair. A node notified of several simultaneous crashes has
+    /// the map applied once per lost edge, in ascending crashed-neighbor
+    /// order.
+    fn on_crash_notify(&self, state: &Self::State) -> Option<Self::State> {
+        let _ = state;
+        None
+    }
 }

@@ -817,6 +817,22 @@ impl<M: EnumerableMachine> RoundSim<M> {
                     self.book.edge_events += neighbors.len() as u64;
                     self.book.last_output_change = self.book.steps;
                 }
+                // Crash notifications, in ascending node order: each is
+                // a state-only change handled like any mid-round flip —
+                // rescan the row, then reclassify exactly the diff
+                // (scheduled pairs stay frozen, ineff→eff flips resolve
+                // against the pool by the urn draw).
+                for &w in &neighbors {
+                    if let Some(s2) = self.machine.on_crash_notify(self.pop.state(w)) {
+                        if *self.pop.state(w) != s2 {
+                            let old_w: Vec<u64> = self.pairs.row_bits(w).to_vec();
+                            self.pop.set_state(w, s2);
+                            self.index
+                                .on_state_change(&self.machine, &self.pop, &mut self.pairs, w);
+                            self.reclass_row(w, &old_w, None);
+                        }
+                    }
+                }
             }
             ResolvedFault::Arrive(x) => {
                 // Re-admit x and rescan its row; every flip is

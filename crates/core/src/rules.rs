@@ -102,6 +102,9 @@ pub enum ProtocolError {
     NoStates,
     /// The set of output states was declared empty.
     NoOutputStates,
+    /// Two crash-notification transitions were declared for the same
+    /// state with different targets. Holds the offending state's name.
+    ConflictingNotify(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -115,6 +118,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::NoStates => write!(f, "protocol declares no states"),
             ProtocolError::NoOutputStates => write!(f, "protocol declares no output states"),
+            ProtocolError::ConflictingNotify(s) => {
+                write!(f, "conflicting crash-notification transitions for state {s}")
+            }
         }
     }
 }
@@ -153,6 +159,7 @@ pub struct ProtocolBuilder {
     initial: Option<StateId>,
     output: Option<Vec<StateId>>,
     rules: Vec<Rule>,
+    crash_notify: Vec<(StateId, StateId)>,
 }
 
 impl ProtocolBuilder {
@@ -166,6 +173,7 @@ impl ProtocolBuilder {
             initial: None,
             output: None,
             rules: Vec::new(),
+            crash_notify: Vec::new(),
         }
     }
 
@@ -232,6 +240,16 @@ impl ProtocolBuilder {
             lhs,
             rhs: RuleRhs::Random(alternatives.into_iter().collect()),
         });
+        self
+    }
+
+    /// Declares the crash-notification transition `from → to`: a node in
+    /// state `from` that loses an active edge to a crashing neighbor is
+    /// remapped to `to` (the fault-notification model of arXiv
+    /// 1903.05992; see [`Machine::on_crash_notify`]). States without a
+    /// declared transition ignore notifications.
+    pub fn on_crash(&mut self, from: StateId, to: StateId) -> &mut Self {
+        self.crash_notify.push((from, to));
         self
     }
 
@@ -321,6 +339,18 @@ impl ProtocolBuilder {
             }
         }
 
+        let mut crash_notify: Vec<Option<StateId>> = vec![None; size];
+        for &(from, to) in &self.crash_notify {
+            match crash_notify[from.index()] {
+                Some(existing) if existing != to => {
+                    return Err(ProtocolError::ConflictingNotify(
+                        self.state_names[from.index()].clone(),
+                    ));
+                }
+                _ => crash_notify[from.index()] = Some(to),
+            }
+        }
+
         Ok(RuleProtocol {
             name: self.name.clone(),
             state_names: self.state_names.clone(),
@@ -330,6 +360,7 @@ impl ProtocolBuilder {
             affects,
             affects_edge,
             rules: self.rules.clone(),
+            crash_notify,
         })
     }
 }
@@ -352,6 +383,8 @@ pub struct RuleProtocol {
     /// Per-slot: whether some outcome changes the edge state.
     affects_edge: Vec<bool>,
     rules: Vec<Rule>,
+    /// Per-state crash-notification target (`None` = ignore).
+    crash_notify: Vec<Option<StateId>>,
 }
 
 impl RuleProtocol {
@@ -395,6 +428,13 @@ impl RuleProtocol {
     pub fn lookup(&self, a: StateId, b: StateId, link: Link) -> Option<&RuleRhs> {
         let size = self.size();
         self.table[(a.index() * size + b.index()) * 2 + usize::from(link.is_on())].as_ref()
+    }
+
+    /// The crash-notification target of state `s`, if the protocol
+    /// declared one with [`ProtocolBuilder::on_crash`].
+    #[must_use]
+    pub fn crash_notify_target(&self, s: StateId) -> Option<StateId> {
+        self.crash_notify[s.index()]
     }
 }
 
@@ -442,6 +482,10 @@ impl Machine for RuleProtocol {
 
     fn can_affect_edge(&self, a: &StateId, b: &StateId, link: Link) -> bool {
         self.affects_edge[(a.index() * self.size() + b.index()) * 2 + usize::from(link.is_on())]
+    }
+
+    fn on_crash_notify(&self, state: &StateId) -> Option<StateId> {
+        self.crash_notify[state.index()]
     }
 }
 
@@ -586,6 +630,35 @@ mod tests {
         assert_eq!(p.state_name(a), "a");
         assert_eq!(p.size(), 2);
         assert_eq!(p.initial_state(), a, "first declared state is q0");
+    }
+
+    #[test]
+    fn crash_notify_declarations() {
+        let mut b = ProtocolBuilder::new("notify");
+        let c = b.state("c");
+        let p = b.state("p");
+        b.rule((c, c, OFF), (c, p, ON));
+        b.on_crash(p, c);
+        b.on_crash(p, c); // same target again is fine
+        let proto = b.build().expect("valid");
+        assert_eq!(proto.crash_notify_target(p), Some(c));
+        assert_eq!(proto.crash_notify_target(c), None);
+        assert_eq!(proto.on_crash_notify(&p), Some(c));
+        assert_eq!(proto.on_crash_notify(&c), None);
+    }
+
+    #[test]
+    fn conflicting_crash_notify_rejected() {
+        let mut b = ProtocolBuilder::new("bad-notify");
+        let a = b.state("a");
+        let c = b.state("c");
+        b.rule((a, c, OFF), (c, c, ON));
+        b.on_crash(a, c);
+        b.on_crash(a, a);
+        assert!(matches!(
+            b.build(),
+            Err(ProtocolError::ConflictingNotify(ref s)) if s == "a"
+        ));
     }
 
     #[test]

@@ -437,6 +437,18 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         }
     }
 
+    /// The step of the last output-graph (active edge set) change —
+    /// what availability estimators use to attribute stable draws.
+    #[must_use]
+    pub fn last_output_change(&self) -> u64 {
+        match self {
+            Engine::Dense { sim, .. } => sim.last_output_change(),
+            Engine::Sparse { sim, .. } => sim.last_output_change(),
+            Engine::Round { sim, .. } => sim.last_output_change(),
+            Engine::RoundNaive { sim, .. } => sim.last_output_change(),
+        }
+    }
+
     /// Edge activations/deactivations so far.
     #[must_use]
     pub fn edge_events(&self) -> u64 {

@@ -428,6 +428,25 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
                     self.book.edge_events += neighbors.len() as u64;
                     self.book.last_output_change = self.book.steps;
                 }
+                // Crash notifications: every alive node that lost an
+                // active edge to `x` has the machine's notify map
+                // applied, in ascending node order (state-only changes —
+                // the output graph already reflects the crash above).
+                for &w in &neighbors {
+                    if let Some(s2) = self.machine.on_crash_notify(self.pop.state(w)) {
+                        if *self.pop.state(w) != s2 {
+                            self.pop.set_state(w, s2);
+                            if let Some(t) = &mut self.tracker {
+                                t.index.on_state_change(
+                                    &self.machine,
+                                    &self.pop,
+                                    &mut t.pairs,
+                                    w,
+                                );
+                            }
+                        }
+                    }
+                }
             }
             ResolvedFault::DeleteEdge(u, v) => self.delete_edge_fault(u, v),
             ResolvedFault::DeleteRandomEdges { count, mut rng } => {

@@ -24,6 +24,18 @@
 //! | [`spanning_net`] | Thm 1 | 2 | Θ(n log n), optimal for spanning |
 //! | [`doubling`] | §5 (degree ≠ size) | 2d+3 | — |
 //!
+//! Two *fault-tolerant* constructors from the follow-up paper "Fault
+//! Tolerant Network Constructors" (arXiv 1903.05992) extend the table:
+//! they use the crash-notification model (a node that loses an active
+//! edge to a crashed neighbour has the protocol's notify map applied)
+//! and re-stabilize after crash bursts the baselines provably never
+//! repair.
+//!
+//! | Module | Technique | States | Repairs |
+//! |--------|-----------|--------|---------|
+//! | [`ft_star`] | notified re-election | 2 | any crash pattern, incl. the centre |
+//! | [`ft_line`] | restart/waste wave | 6 | any crash pattern, by fragment dissolution |
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +56,8 @@ pub mod cycle_cover;
 pub mod doubling;
 pub mod fast_global_line;
 pub mod faster_global_line;
+pub mod ft_line;
+pub mod ft_star;
 pub mod global_ring;
 pub mod global_star;
 pub mod krc;

@@ -625,6 +625,132 @@ mod faults {
             "Simulation/shuffled-rounds"
         );
     }
+
+    #[test]
+    fn ft_star_under_shared_churn_matches_across_engines() {
+        // Sustained Poisson churn instead of a hand-written burst: the
+        // per-trial `ChurnPlan` compiles to the identical draw-indexed
+        // `FaultPlan` for every engine (same seed ⇒ same arrivals, same
+        // crash times, same capacity), so crash notifications and ghost
+        // reclassification fire on the same schedule everywhere. FT-star
+        // re-stabilizes after any crash pattern, so `converged_at` stays
+        // a clean sample unit once the stream ends.
+        use netcon::core::ChurnPlan;
+        use netcon::protocols::ft_star;
+        let n = 12;
+        let plan = move |s: u64| {
+            ChurnPlan::new(s)
+                .arrival_rate(5e-4)
+                .departure_rate(5e-4)
+                .min_alive(6)
+                .horizon(4_000)
+                .compile(n)
+        };
+        assert_equivalent_4way_faulted(
+            "FT-Global-Star/churn",
+            &ft_star::protocol(),
+            ft_star::is_stable_faulted_pop,
+            ft_star::is_stable_faulted_sparse,
+            plan,
+            n,
+            1_500,
+        );
+    }
+
+    /// Stop/resume across *churn* boundaries is coin-for-coin identical:
+    /// the boundary draws come from a compiled `ChurnPlan` (so they land
+    /// wherever the Poisson stream put them, not on round numbers), and
+    /// the protocol is FT-star so every crash also exercises the
+    /// notification remap mid-segment.
+    #[test]
+    fn stop_resume_at_churn_boundaries_is_coin_for_coin_identical() {
+        use netcon::core::ChurnPlan;
+        use netcon::protocols::ft_star;
+        let p = ft_star::protocol();
+        let compiled = p.compile();
+        let n = 14;
+        let plan = || {
+            ChurnPlan::new(21)
+                .arrival_rate(1e-3)
+                .departure_rate(1e-3)
+                .min_alive(7)
+                .horizon(3_000)
+                .compile(n)
+        };
+        let mut stops: Vec<u64> = plan().events().iter().map(|&(t, _)| t).collect();
+        stops.dedup();
+        assert!(stops.len() >= 2, "churn stream yields several boundaries");
+        let last = *stops.last().expect("non-empty");
+        stops.push(last + 500);
+        let end = last + 500;
+        type Fp = (u64, u64, u64, Vec<StateId>, Vec<(usize, usize)>);
+        let fp = |pop: &Population<StateId>, steps: u64, eff: u64, ev: u64| -> Fp {
+            let states = (0..pop.n()).map(|u| *pop.state(u)).collect();
+            let edges = pop.edges().active_edges().collect();
+            (steps, eff, ev, states, edges)
+        };
+
+        let mut a = EventSim::new_faulted(compiled.clone(), n, 17, plan());
+        a.run_faulted_to(end);
+        let mut b = EventSim::new_faulted(compiled.clone(), n, 17, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "EventSim/churn"
+        );
+
+        let mut a = BucketSim::new_faulted(compiled.clone(), n, 17, plan());
+        a.run_faulted_to(end);
+        let mut b = BucketSim::new_faulted(compiled.clone(), n, 17, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(&a.to_population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(&b.to_population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "BucketSim/churn"
+        );
+
+        let mut a = RoundSim::new_faulted(compiled.clone(), n, 17, plan());
+        a.run_faulted_to(end);
+        let mut b = RoundSim::new_faulted(compiled, n, 17, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "RoundSim/churn"
+        );
+
+        let mut a = Simulation::new_faulted(p.clone(), n, 17, plan());
+        a.run_faulted_to(end);
+        let mut b = Simulation::new_faulted(p.clone(), n, 17, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "Simulation/uniform/churn"
+        );
+
+        let mut a = Simulation::with_scheduler_faulted(p.clone(), n, 17, ShuffledRounds::new(), plan());
+        a.run_faulted_to(end);
+        let mut b = Simulation::with_scheduler_faulted(p, n, 17, ShuffledRounds::new(), plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "Simulation/shuffled-rounds/churn"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
