@@ -160,11 +160,14 @@ where
 /// convergence time, measured on the **auto-selected round engine**
 /// ([`Engine::auto_for`] with [`SchedulerKind::ShuffledRounds`]: the
 /// event-driven [`netcon_core::RoundSim`] within the memory budget, the
-/// naive round-playing loop beyond it — identical distribution either
-/// way).
+/// sparse [`netcon_core::RoundBucketSim`] beyond it — identical
+/// distribution either way).
 ///
 /// `stable` must certify output stability, as the per-protocol
-/// predicates in `netcon-protocols` do.
+/// predicates in `netcon-protocols` do. When the selector goes sparse,
+/// each evaluation of this dense predicate materializes a Θ(n²)
+/// [`Population`]; frontier-scale round sweeps should use
+/// [`rounds_to_converge_view`] with a sparse-clean predicate instead.
 ///
 /// # Panics
 ///
@@ -180,8 +183,27 @@ pub fn rounds_to_converge(
     rounds_of_run(protocol.compile(), protocol.name(), n, seed, &stable, max_steps)
 }
 
+/// [`rounds_to_converge`] with the predicate over the engine-selection
+/// view, so sparse-clean predicates run at frontier sizes (the sparse
+/// round engine holds O(n + |Q|²); nothing Θ(n²) ever exists).
+///
+/// # Panics
+///
+/// Panics if the run fails to stabilize within `max_steps`.
+#[must_use]
+pub fn rounds_to_converge_view(
+    protocol: &RuleProtocol,
+    n: usize,
+    seed: u64,
+    stable: impl Fn(&EngineView<'_, CompiledTable>) -> bool,
+    max_steps: u64,
+) -> u64 {
+    rounds_of_run_view(protocol.compile(), protocol.name(), n, seed, &stable, max_steps)
+}
+
 /// [`rounds_to_converge`] on an already-compiled table (so sweeps
-/// compile once, not per trial).
+/// compile once, not per trial), lowering the dense predicate onto the
+/// view (Θ(n²) materialization per evaluation on the sparse arm).
 fn rounds_of_run(
     compiled: CompiledTable,
     name: &str,
@@ -190,15 +212,32 @@ fn rounds_of_run(
     stable: &impl Fn(&Population<StateId>) -> bool,
     max_steps: u64,
 ) -> u64 {
+    rounds_of_run_view(
+        compiled,
+        name,
+        n,
+        seed,
+        &|view: &EngineView<'_, CompiledTable>| match view {
+            EngineView::Dense { pop, .. } => stable(pop),
+            sparse @ EngineView::Sparse { .. } => stable(&sparse.to_population()),
+        },
+        max_steps,
+    )
+}
+
+/// The shared round-counting trial body: run the auto-selected round
+/// engine to stability, convert `converged_at` to rounds.
+fn rounds_of_run_view(
+    compiled: CompiledTable,
+    name: &str,
+    n: usize,
+    seed: u64,
+    stable: &impl Fn(&EngineView<'_, CompiledTable>) -> bool,
+    max_steps: u64,
+) -> u64 {
     let mut eng = Engine::auto_for(compiled, n, seed, SchedulerKind::ShuffledRounds);
     let converged = eng
-        .run_until(
-            |view| match view {
-                EngineView::Dense { pop, .. } => stable(pop),
-                sparse @ EngineView::Sparse { .. } => stable(&sparse.to_population()),
-            },
-            max_steps,
-        )
+        .run_until(|view| stable(view), max_steps)
         .converged_at()
         .unwrap_or_else(|| panic!("{name} did not stabilize on n={n} within {max_steps}"));
     let pairs_per_round = (n as u64) * (n as u64 - 1) / 2;
@@ -226,6 +265,32 @@ where
     let name = protocol.name().to_owned();
     sweep(cfg, |n, seed| {
         rounds_of_run(compiled.clone(), &name, n, seed, &stable, max_steps) as f64
+    })
+}
+
+/// [`sweep_rounds_to_converge`] with the predicate over the
+/// engine-selection view — the frontier round-sweep path: at sizes where
+/// the selector picks the sparse round engine (n ≳ 6 000 under the
+/// default budget), a sparse-clean predicate keeps every trial
+/// O(n + |Q|²), so round-denominated sweeps run at n = 100 000 and
+/// beyond.
+///
+/// # Panics
+///
+/// Panics if any trial fails to stabilize within `max_steps`.
+pub fn sweep_rounds_to_converge_view<P>(
+    cfg: &SweepConfig,
+    protocol: &RuleProtocol,
+    stable: P,
+    max_steps: u64,
+) -> SweepTable
+where
+    P: Fn(&EngineView<'_, CompiledTable>) -> bool + Sync,
+{
+    let compiled = protocol.compile();
+    let name = protocol.name().to_owned();
+    sweep(cfg, |n, seed| {
+        rounds_of_run_view(compiled.clone(), &name, n, seed, &stable, max_steps) as f64
     })
 }
 
@@ -354,6 +419,39 @@ mod tests {
         }
         // Single-run helper agrees.
         assert_eq!(rounds_to_converge(&p, 10, 3, stable, u64::MAX), 1);
+    }
+
+    #[test]
+    fn round_sweep_view_runs_at_frontier_size() {
+        use netcon_core::{EnumerableMachine, Link, ProtocolBuilder};
+        // The view-predicate path never materializes a dense Population,
+        // so a round-denominated sweep runs at n = 100 000 — far beyond
+        // the dense round engine's memory budget, exercising the sparse
+        // round engine end to end through `Engine::auto_for`.
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, Link::Off), (m, m, Link::On));
+        let p = b.build().expect("valid");
+        let ai = p.compile().state_index(&a);
+        let cfg = SweepConfig {
+            sizes: vec![100_000],
+            trials: 1,
+            base_seed: 23,
+        };
+        let t = sweep_rounds_to_converge_view(&cfg, &p, |v| v.count_index(ai) <= 1, u64::MAX);
+        assert_eq!(t.rows[0].samples, vec![1.0], "matching finishes in round 1");
+        // And the single-run view helper agrees at a small size with the
+        // dense-predicate helper on the same seed.
+        let dense = rounds_to_converge(
+            &p,
+            64,
+            9,
+            move |pop: &Population<StateId>| pop.count_where(|s| *s == a) <= 1,
+            u64::MAX,
+        );
+        let view = rounds_to_converge_view(&p, 64, 9, |v| v.count_index(ai) <= 1, u64::MAX);
+        assert_eq!(dense, view);
     }
 
     #[test]

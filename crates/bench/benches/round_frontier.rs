@@ -16,18 +16,25 @@
 //!    check riding every CI bench run),
 //! 3. drives a rounds-to-converge ladder via the
 //!    `netcon_analysis::sweep::sweep_rounds_to_converge` fast path and
-//!    fits the rounds-vs-n power law.
+//!    fits the rounds-vs-n power law,
+//! 4. runs a round-denominated sweep at n = 100 000 on the sparse round
+//!    engine ([`RoundBucketSim`](netcon_core::RoundBucketSim)) through
+//!    the view-predicate path — the size the dense engine's 13n² bytes
+//!    can never touch.
 //!
 //! `NETCON_BENCH_SCALE` (percent) scales trial counts as usual.
 
 use std::time::Instant;
 
-use netcon_analysis::sweep::{sweep_rounds_to_converge, SweepConfig};
+use netcon_analysis::sweep::{
+    sweep_rounds_to_converge, sweep_rounds_to_converge_view, SweepConfig,
+};
 use netcon_analysis::table::TextTable;
 use netcon_bench::harness::{fits, fmt_fit, scale, sweep_rows};
 use netcon_core::seeds::derive2;
 use netcon_core::{
-    CompiledTable, Engine, RoundSim, SchedulerKind, ShuffledRounds, Simulation,
+    CompiledTable, Engine, EnumerableMachine, Link, ProtocolBuilder, RoundSim, SchedulerKind,
+    ShuffledRounds, Simulation,
 };
 use netcon_protocols::{cycle_cover, simple_global_line};
 
@@ -50,7 +57,36 @@ fn main() {
         round_fits,
         "selector disagrees with the round-engine budget"
     );
-    println!("Engine::auto_for(n = {n0}, ShuffledRounds) -> {}\n", eng.kind());
+    println!("Engine::auto_for(n = {n0}, ShuffledRounds) -> {}", eng.kind());
+    drop(eng);
+
+    // And the sparse side of the same cross-check: beyond the dense
+    // round-engine budget the selector must pick the sparse round
+    // engine, never a fallback loop. A budget of one byte forces it at
+    // any n; a frontier n forces it under the default budget.
+    let eng = Engine::with_budget_for(
+        simple_global_line::protocol().compile(),
+        n0,
+        1,
+        1,
+        SchedulerKind::ShuffledRounds,
+    );
+    assert_eq!(eng.kind(), "round-sparse", "tiny budget must go sparse");
+    drop(eng);
+    let n_big = 100_000;
+    let eng = Engine::auto_for(
+        simple_global_line::protocol().compile(),
+        n_big,
+        1,
+        SchedulerKind::ShuffledRounds,
+    );
+    assert!(
+        RoundSim::<CompiledTable>::dense_mem_estimate(n_big)
+            > Engine::<CompiledTable>::default_budget(),
+        "n = {n_big} should be beyond the dense round budget"
+    );
+    assert_eq!(eng.kind(), "round-sparse", "frontier n must go sparse");
+    println!("Engine::auto_for(n = {n_big}, ShuffledRounds) -> {}\n", eng.kind());
     drop(eng);
 
     // Head-to-head on Simple-Global-Line at n = 64: RoundSim vs the
@@ -146,6 +182,40 @@ fn main() {
         );
     }
 
+    // Frontier round sweep: n = 100 000 on the sparse round engine via
+    // the view-predicate path (a dense predicate would materialize a
+    // Θ(n²) Population per stability check). Maximum matching finishes
+    // within round 1 almost surely under any box schedule, so the
+    // measurement doubles as an exactness assertion at frontier scale.
+    let mut b = ProtocolBuilder::new("matching");
+    let a = b.state("a");
+    let m_state = b.state("b");
+    b.rule((a, a, Link::Off), (m_state, m_state, Link::On));
+    let matching = b.build().expect("valid");
+    let ai = matching.compile().state_index(&a);
+    let n_big = 100_000;
+    let trials = scale(4).max(1);
+    let cfg = SweepConfig {
+        sizes: vec![n_big],
+        trials,
+        base_seed: 606,
+    };
+    let t0 = Instant::now();
+    let table =
+        sweep_rounds_to_converge_view(&cfg, &matching, |v| v.count_index(ai) <= 1, u64::MAX);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        table.rows[0].samples.iter().all(|&x| x == 1.0),
+        "matching must finish in round 1 at n = {n_big}: {:?}",
+        table.rows[0].samples
+    );
+    println!("--- Maximum-matching at n = {n_big}: sparse round engine ---");
+    println!(
+        "{trials} trial(s), all converged in round 1, {:.3}s/trial\n",
+        wall / trials as f64
+    );
+
     println!("round-denominated sweeps now run at event-driven cost;");
-    println!("the naive loop pays Θ(n²) per round for the shuffle alone.");
+    println!("the naive loop pays Θ(n²) per round for the shuffle alone,");
+    println!("and the sparse round engine lifts the 13n²-byte ceiling.");
 }

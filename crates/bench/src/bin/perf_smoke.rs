@@ -1,5 +1,5 @@
 //! Executes every bench target (not just compiles them) and writes
-//! `BENCH_PR8.json`: per-bench wall-clock, the engine speedup records
+//! `BENCH_PR9.json`: per-bench wall-clock, the engine speedup records
 //! (uniform *and* ShuffledRounds), per-engine measured memory, the
 //! fault-layer repair-time record (`perturbation_frontier`), the
 //! continuous-churn availability record (`churn_frontier`), and the
@@ -10,13 +10,13 @@
 //! ```sh
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke -- \
-//!     --out bench-smoke.json --check BENCH_PR8.json   # CI gate
+//!     --out bench-smoke.json --check BENCH_PR9.json   # CI gate
 //! ```
 //!
 //! `NETCON_BENCH_SCALE` (percent) is inherited by the spawned bench
 //! processes and by the in-process engine measurement; CI uses the
 //! minimum (1) so the whole suite stays in smoke-test territory. The
-//! output path defaults to `BENCH_PR8.json` in the workspace root
+//! output path defaults to `BENCH_PR9.json` in the workspace root
 //! (`--out <path>` overrides). The `perturbation_frontier` and
 //! `churn_frontier` sections are cheap and always regenerated live;
 //! `NETCON_FAULT_SEVERITY` / `NETCON_FAULT_TRIALS` shape the fault
@@ -35,8 +35,11 @@
 //! forward otherwise: `scaling_frontier` (bucket engine at n ∈
 //! {20k, 50k, 100k}, ~15 min) under `NETCON_FRONTIER=1`,
 //! `round_frontier` (RoundSim ladder up to `NETCON_ROUND_FRONTIER_N`,
-//! default 1024) under `NETCON_ROUND_FRONTIER=1`, and
-//! `large_sample_agreement_n256` under `NETCON_NAIVE_TRIALS_256=<k>`.
+//! default 1024) under `NETCON_ROUND_FRONTIER=1`, `mega_frontier`
+//! (Simple-Global-Line at n = 10⁶ on the batched-endgame path, with
+//! its ≤ 60 s single-core acceptance gate) under
+//! `NETCON_MEGA_FRONTIER=1`, and `large_sample_agreement_n256` under
+//! `NETCON_NAIVE_TRIALS_256=<k>`.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -573,6 +576,52 @@ fn scaling_frontier_section() -> String {
     s
 }
 
+/// The million-node record: Simple-Global-Line at n = 10⁶ on the
+/// bucket engine's batched-endgame path, with the frontier acceptance
+/// gate asserted inline (≤ 60 s on one core). One serial run — the
+/// bench box is single-core, and a gate racing other work would read
+/// 10–60× slow — and only under `NETCON_MEGA_FRONTIER=1`.
+fn mega_frontier_section() -> String {
+    let n = 1_000_000usize;
+    let compiled = simple_global_line::protocol().compile();
+    let mut s = String::from("  \"mega_frontier\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"regenerate with NETCON_MEGA_FRONTIER=1 cargo run --release -p netcon-bench --bin perf_smoke (one serial run, ~30 s; keep the box otherwise idle); runs without that variable carry this section forward\","
+    );
+    let _ = writeln!(s, "    \"gate\": \"wall_s <= 60 on one core\",");
+    println!("==> mega frontier: simple_global_line n = {n} (bucket engine, batched endgame)");
+    let t0 = Instant::now();
+    let mut sim = BucketSim::new(compiled, n, 2014 + n as u64);
+    // `run_until_edges`, not `run_until`: the edge-count predicate only
+    // changes when an edge does, and that is the entry point where the
+    // batched endgame engages (per-effective-step predicates cannot
+    // batch — whole walker excursions would skip their evaluation
+    // points, turning the last few walkers back into ~10¹¹ drawn
+    // events and the 20 s record into minutes).
+    let out = sim.run_until_edges(simple_global_line::is_stable_sparse, u64::MAX);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        out.stabilized(),
+        "simple_global_line did not stabilize at n={n}"
+    );
+    assert!(
+        wall <= 60.0,
+        "mega frontier gate: Simple-Global-Line n={n} took {wall:.1}s (> 60 s)"
+    );
+    // `converged_at()` saturates at u64::MAX here (~10¹⁹ sequential
+    // draws); the wide counter holds the exact count.
+    let _ = writeln!(
+        s,
+        "    \"simple_global_line\": [\n      {{ \"n\": {n}, \"engine\": \"bucket-sparse\", \"converged_at\": {}, \"effective_steps\": {}, \"wall_s\": {wall:.2}, \"approx_mem_bytes\": {} }}\n    ]",
+        sim.steps_wide(),
+        sim.effective_steps_wide(),
+        sim.approx_mem_bytes(),
+    );
+    s.push_str("  }");
+    s
+}
+
 fn main() {
     let (out_path, check_path) = {
         let mut args = std::env::args().skip(1);
@@ -595,7 +644,7 @@ fn main() {
         }
         (
             out.unwrap_or_else(|| {
-                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json")
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json")
             }),
             check,
         )
@@ -678,6 +727,11 @@ fn main() {
     } else {
         carry("round_frontier")
     };
+    let mega_frontier = if std::env::var("NETCON_MEGA_FRONTIER").is_ok_and(|v| v == "1") {
+        Some(mega_frontier_section())
+    } else {
+        carry("mega_frontier")
+    };
 
     // Large-sample mean-agreement record. `NETCON_NAIVE_TRIALS_256=<k>`
     // (k ≥ 100; ≈ 25 min at 1000) regenerates it; otherwise any section
@@ -730,7 +784,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(json, "  \"bench_scale_pct\": \"{scale_pct}\",");
     json.push_str("  \"benches\": [\n");
     for (i, (name, wall)) in rows.iter().enumerate() {
@@ -760,6 +814,10 @@ fn main() {
         json.push_str(&section);
     }
     if let Some(section) = round_frontier {
+        json.push_str(",\n");
+        json.push_str(&section);
+    }
+    if let Some(section) = mega_frontier {
         json.push_str(",\n");
         json.push_str(&section);
     }

@@ -51,14 +51,21 @@
 //! Simple-Global-Line runs in a few megabytes where the dense pair map
 //! alone would need ~40 GB.
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 
 use crate::compiled::{EffectTable, EnumerableMachine};
-use crate::engine::{geometric_skip, unit_open01, Bookkeeping};
+use crate::engine::{geometric_skip, unit_open01, GeoCacheSlot};
 use crate::event::EventStep;
 use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
+use crate::walk::{
+    bridge_weights_with_future, h_step, sample_absorption, sample_binomial, sample_gamma,
+    sample_poisson, sample_weighted,
+};
 use crate::{Link, Population};
 
 /// Monomorphic indexed-interaction entry point captured from
@@ -103,7 +110,7 @@ pub struct SparsePop {
 impl SparsePop {
     /// Builds the configuration with every node in state `initial` and no
     /// active edges.
-    fn new(n: usize, num_states: usize, initial: usize) -> Self {
+    pub(crate) fn new(n: usize, num_states: usize, initial: usize) -> Self {
         let mut buckets = vec![Vec::new(); num_states];
         buckets[initial] = (0..n as u32).collect();
         Self {
@@ -189,7 +196,7 @@ impl SparsePop {
     }
 
     /// Moves node `u` to state `new`; returns whether the state changed.
-    fn set_state_index(&mut self, u: usize, new: usize) -> bool {
+    pub(crate) fn set_state_index(&mut self, u: usize, new: usize) -> bool {
         let old = usize::from(self.idx[u]);
         if old == new {
             return false;
@@ -213,7 +220,7 @@ impl SparsePop {
     /// fault layer): the node keeps its `idx` entry but stops being
     /// counted or drawn. `pos[u]` is stale until
     /// [`bucket_insert`](Self::bucket_insert) restores it.
-    fn bucket_remove(&mut self, u: usize) {
+    pub(crate) fn bucket_remove(&mut self, u: usize) {
         let s = usize::from(self.idx[u]);
         let p = self.pos[u] as usize;
         let bucket = &mut self.buckets[s];
@@ -225,7 +232,7 @@ impl SparsePop {
 
     /// Re-inserts node `u` into the bucket of its retained state index
     /// (node arrival for the fault layer).
-    fn bucket_insert(&mut self, u: usize) {
+    pub(crate) fn bucket_insert(&mut self, u: usize) {
         let s = usize::from(self.idx[u]);
         self.pos[u] = self.buckets[s].len() as u32;
         self.buckets[s].push(u as u32);
@@ -234,7 +241,7 @@ impl SparsePop {
     /// Sets the state of edge `{u, v}` in the adjacency lists. Returns
     /// the edge's on-list position at removal ([`NOT_ON`] otherwise) so
     /// the engine can repair its on list.
-    fn set_edge(&mut self, u: usize, v: usize, active: bool) -> u32 {
+    pub(crate) fn set_edge(&mut self, u: usize, v: usize, active: bool) -> u32 {
         if active {
             debug_assert!(!self.adj[u].iter().any(|c| c.to as usize == v));
             self.adj[u].push(AdjCell {
@@ -294,6 +301,169 @@ impl SparsePop {
     }
 }
 
+/// Wide (`u128`) run counters. The batched endgame advances the raw-step
+/// clock by negative-binomial totals that overflow `u64` at the
+/// million-node frontier (a 10¹²-effective-step walk at a ~10⁻¹¹ hit
+/// probability consumes ~10²³ raw steps). Budgets and the public
+/// accessors keep speaking saturating `u64`;
+/// [`BucketSim::steps_wide`] exposes the exact count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WideBook {
+    steps: u128,
+    effective_steps: u128,
+    edge_events: u64,
+    last_output_change: u128,
+    last_effective: u128,
+}
+
+/// Saturates a wide counter into the `u64` the cross-engine API speaks.
+fn sat64(x: u128) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+impl WideBook {
+    /// Records an effective interaction at the current `steps` count.
+    fn record_effective(&mut self, edge_changed: bool) {
+        if edge_changed {
+            self.edge_events += 1;
+            self.last_output_change = self.steps;
+        }
+        self.effective_steps += 1;
+        self.last_effective = self.steps;
+    }
+
+    /// The [`RunOutcome`] for a stable predicate observed right now.
+    fn stabilized_now(&self) -> RunOutcome {
+        RunOutcome::Stabilized {
+            detected_at: sat64(self.steps),
+            converged_at: sat64(self.last_output_change),
+            last_effective: sat64(self.last_effective),
+        }
+    }
+}
+
+/// A conditioned walker future carried on the per-draw path: the walker
+/// will absorb at side `exit0` in exactly `rem` more of its own steps,
+/// and until then every move it is drawn for follows the Doob
+/// h-transform of that commitment instead of the unbiased coin.
+#[derive(Debug, Clone)]
+struct Commit {
+    /// The walker's path nodes in canonical order
+    /// ([`BucketSim::extract_path`]).
+    path: Vec<u32>,
+    /// Current position on the path.
+    z: usize,
+    /// Remaining own-steps to absorption (≥ 1).
+    rem: u64,
+    /// Whether the committed exit is `path[0]`.
+    exit0: bool,
+}
+
+/// A walker registered in a batched-endgame session: a *lazy* commitment
+/// to absorb at side `exit0` of `path` after `rem` more own-draws,
+/// embedded in the session's continuous clock. The walker state in the
+/// sparse view stays parked at `path[z]` (its position when the
+/// embedding began) until the session materializes it — stale states on
+/// path interiors are invisible to graph-only predicates, which is all
+/// [`BucketSim::run_until_edges`] admits.
+#[derive(Debug, Clone)]
+struct Walker {
+    path: Vec<u32>,
+    /// Materialized (possibly stale) position: `path[z]` holds the
+    /// walker state in the sparse view.
+    z: usize,
+    exit0: bool,
+    /// Own-draws from `z` to absorption.
+    rem: u64,
+    /// Session time at which this embedding began.
+    born: f64,
+    /// Own-clock units (the walker's rate-4 Poisson clock) from `born`
+    /// to absorption: `Gamma(rem)`.
+    gamma: f64,
+}
+
+/// Record of a walker absorbed after the session's pending
+/// `last_output_change` mark — kept so the deferred raw-step split can
+/// count its arrivals before that instant.
+#[derive(Debug, Clone, Copy)]
+struct AbsorbedRec {
+    rem: u64,
+    born: f64,
+    gamma: f64,
+    absorbed_at: f64,
+}
+
+/// A deferred raw-step index: the continuous instant of an event whose
+/// step count is only materialized at session close, with the scalar
+/// tallies frozen at that instant.
+#[derive(Debug, Clone, Copy)]
+struct Mark {
+    tau: f64,
+    cand_done: u128,
+    reject_integral: f64,
+}
+
+/// A batched endgame session: the Poissonized continuous-time execution
+/// carried while every on-candidate is a certified walker edge (see the
+/// module docs). Orderered candidates get independent unit-rate Poisson
+/// clocks; the arrival sequence, in time order, is exactly the discrete
+/// chain's candidate-draw sequence, so racing walker deadlines against
+/// the aggregated off-candidate clock reproduces the per-draw law while
+/// paying O(log W) per *event* instead of per walker step.
+#[derive(Debug, Clone, Default)]
+struct Endgame {
+    /// Registered walkers by session-scoped id (BTreeMap: coin
+    /// consumption at close is id-ordered, hence seed-deterministic).
+    walkers: BTreeMap<u32, Walker>,
+    next_id: u32,
+    /// Path node → owning walker id, for every registered path.
+    claim: HashMap<u32, u32>,
+    /// Min-heap of `(deadline bits, id)` — f64 deadlines are positive,
+    /// so the bit pattern orders identically; stale ids are skipped.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// The session clock.
+    now: f64,
+    /// `∫ (m2 − k2) dt` so far — the mean of the deferred Poisson count
+    /// of certainly-ineffective (skipped) raw draws.
+    reject_integral: f64,
+    /// Candidate draws fully resolved: absorbed walkers' own-draws plus
+    /// applied off-candidate events.
+    cand_done: u128,
+    /// Effective draws among `cand_done`.
+    eff_done: u128,
+    edge_events: u64,
+    /// Instant of the last edge change (deferred `last_output_change`).
+    change: Option<Mark>,
+    /// Instant of the last *applied* effective draw (deferred
+    /// `last_effective`); walker arrivals after it are folded in at
+    /// close.
+    eff_mark: Option<Mark>,
+    /// Walkers absorbed after `change.tau`, oldest first.
+    absorbed_recs: VecDeque<AbsorbedRec>,
+    /// Consecutive ineffective off-candidate draws (session-local
+    /// rejection run for the quiescence probe).
+    ineff_run: u64,
+}
+
+/// One processed session event, as seen by the driving loop.
+enum EndgameEvent {
+    /// An event was applied; `edge_changed` reports whether the output
+    /// graph moved (predicate re-evaluation point). The session may have
+    /// closed right after the event (validation failure) — the next call
+    /// re-opens or reports `Idle`.
+    Applied { edge_changed: bool },
+    /// No session is active and none could open (nothing batchable,
+    /// retry throttle, or quiescence); the caller falls back to the
+    /// per-draw path.
+    Idle,
+}
+
+/// After a failed session-open attempt, effective steps to wait before
+/// paying for another scan — opening is O(path length), so retrying it
+/// per effective step would be quadratic on non-batchable
+/// configurations.
+const ENDGAME_RETRY: u128 = 64;
+
 /// The sparse state-bucketed event-driven engine (see the
 /// [module docs](self) for the exactness argument).
 ///
@@ -327,7 +497,7 @@ pub struct BucketSim<M: EnumerableMachine> {
     machine: M,
     sp: SparsePop,
     rng: SmallRng,
-    book: Bookkeeping,
+    book: WideBook,
     table: EffectTable,
     /// Ordered state pairs `(s, t)` with `can_affect(s, t, Off)` — the
     /// off buckets, fixed at construction.
@@ -349,6 +519,18 @@ pub struct BucketSim<M: EnumerableMachine> {
     interact: InteractFn<M>,
     state_at: fn(&M, usize) -> M::State,
     faults: Option<FaultState>,
+    /// Lazy inversion table for the hot `geometric_skip` parameter.
+    geo: GeoCacheSlot,
+    /// Batched-endgame commitments, keyed by the node currently holding
+    /// the walker state (a `Vec`, so coin consumption is deterministic).
+    commits: Vec<(u32, Commit)>,
+    /// Effective-step count before which walk detection is not retried
+    /// after a failure.
+    endgame_retry_after: u128,
+    /// The open batched-endgame session, if any. `None` at every public
+    /// API boundary — sessions live entirely inside
+    /// [`run_until_edges`](Self::run_until_edges).
+    eg: Option<Endgame>,
 }
 
 /// First rejection-run length at which [`BucketSim::advance`] pays for an
@@ -469,7 +651,7 @@ impl<M: EnumerableMachine> BucketSim<M> {
             machine,
             sp,
             rng: SmallRng::seed_from_u64(seed),
-            book: Bookkeeping::default(),
+            book: WideBook::default(),
             table,
             off_pairs,
             cum,
@@ -481,6 +663,10 @@ impl<M: EnumerableMachine> BucketSim<M> {
             interact: |m: &M, a, b, link, rng: &mut SmallRng| m.interact_indexed(a, b, link, rng),
             state_at: |m: &M, i: usize| m.state_at(i),
             faults: None,
+            geo: GeoCacheSlot::default(),
+            commits: Vec::new(),
+            endgame_retry_after: 0,
+            eg: None,
         };
         // Initial on-list: scan the active edges once.
         for u in 0..sim.sp.n() {
@@ -501,15 +687,31 @@ impl<M: EnumerableMachine> BucketSim<M> {
         &self.machine
     }
 
-    /// Steps taken so far (including skipped ineffective draws).
+    /// Steps taken so far (including skipped ineffective draws),
+    /// saturating at `u64::MAX`; [`steps_wide`](Self::steps_wide) has
+    /// the exact count.
     #[must_use]
     pub fn steps(&self) -> u64 {
+        sat64(self.book.steps)
+    }
+
+    /// The exact step count: the batched endgame advances the clock by
+    /// negative-binomial totals that pass `u64` at the million-node
+    /// frontier.
+    #[must_use]
+    pub fn steps_wide(&self) -> u128 {
         self.book.steps
     }
 
-    /// Effective interactions so far.
+    /// Effective interactions so far (saturating at `u64::MAX`).
     #[must_use]
     pub fn effective_steps(&self) -> u64 {
+        sat64(self.book.effective_steps)
+    }
+
+    /// The exact effective-interaction count.
+    #[must_use]
+    pub fn effective_steps_wide(&self) -> u128 {
         self.book.effective_steps
     }
 
@@ -519,16 +721,24 @@ impl<M: EnumerableMachine> BucketSim<M> {
         self.book.edge_events
     }
 
-    /// The step of the most recent edge change (0 if none yet).
+    /// The step of the most recent edge change (0 if none yet),
+    /// saturating at `u64::MAX`.
     #[must_use]
     pub fn last_output_change(&self) -> u64 {
+        sat64(self.book.last_output_change)
+    }
+
+    /// The exact step of the most recent edge change (0 if none yet).
+    #[must_use]
+    pub fn last_output_change_wide(&self) -> u128 {
         self.book.last_output_change
     }
 
-    /// The step of the most recent effective interaction (0 if none yet).
+    /// The step of the most recent effective interaction (0 if none
+    /// yet), saturating at `u64::MAX`.
     #[must_use]
     pub fn last_effective(&self) -> u64 {
-        self.book.last_effective
+        sat64(self.book.last_effective)
     }
 
     /// The current number of *ordered* candidate pairs `K = |E'|` — the
@@ -625,26 +835,7 @@ impl<M: EnumerableMachine> BucketSim<M> {
     fn draw_candidate(&mut self, k2: u64) -> (usize, usize) {
         let r = self.rng.random_range(0..k2);
         if r < self.off_total {
-            // Off bucket: cumulative-weight search, then one uniform
-            // member per side (distinct indices when the sides share a
-            // bucket).
-            let b = self.cum.partition_point(|&c| c <= r);
-            let (s, t) = self.off_pairs[b];
-            let bs = &self.sp.buckets[usize::from(s)];
-            if s == t {
-                let c = bs.len();
-                let i = self.rng.random_range(0..c);
-                let mut j = self.rng.random_range(0..c - 1);
-                if j >= i {
-                    j += 1;
-                }
-                (bs[i] as usize, bs[j] as usize)
-            } else {
-                let u = bs[self.rng.random_range(0..bs.len())];
-                let bt = &self.sp.buckets[usize::from(t)];
-                let v = bt[self.rng.random_range(0..bt.len())];
-                (u as usize, v as usize)
-            }
+            self.off_candidate_at(r)
         } else {
             let e = r - self.off_total;
             let (a, b) = self.on_list[(e / 2) as usize];
@@ -653,6 +844,29 @@ impl<M: EnumerableMachine> BucketSim<M> {
             } else {
                 (a as usize, b as usize)
             }
+        }
+    }
+
+    /// The off-candidate at cumulative rank `r < off_total`: a
+    /// cumulative-weight bucket search, then one uniform member per side
+    /// (distinct indices when the sides share a bucket).
+    fn off_candidate_at(&mut self, r: u64) -> (usize, usize) {
+        let b = self.cum.partition_point(|&c| c <= r);
+        let (s, t) = self.off_pairs[b];
+        let bs = &self.sp.buckets[usize::from(s)];
+        if s == t {
+            let c = bs.len();
+            let i = self.rng.random_range(0..c);
+            let mut j = self.rng.random_range(0..c - 1);
+            if j >= i {
+                j += 1;
+            }
+            (bs[i] as usize, bs[j] as usize)
+        } else {
+            let u = bs[self.rng.random_range(0..bs.len())];
+            let bt = &self.sp.buckets[usize::from(t)];
+            let v = bt[self.rng.random_range(0..bt.len())];
+            (u as usize, v as usize)
         }
     }
 
@@ -666,6 +880,10 @@ impl<M: EnumerableMachine> BucketSim<M> {
     /// and it certifies that no pair can ever change again (rejections
     /// change nothing, so a quiescent configuration stays quiescent).
     pub fn advance(&mut self, max_steps: u64) -> EventStep {
+        debug_assert!(
+            self.eg.is_none(),
+            "per-draw advance never runs inside an endgame session"
+        );
         if self.dirty {
             self.rebuild_weights();
         }
@@ -675,7 +893,7 @@ impl<M: EnumerableMachine> BucketSim<M> {
         }
         let n = self.sp.n() as u64;
         let m2 = n * (n - 1);
-        let remaining = max_steps.saturating_sub(self.book.steps);
+        let remaining = u128::from(max_steps).saturating_sub(self.book.steps);
         if remaining == 0 {
             return EventStep::BudgetExhausted;
         }
@@ -683,19 +901,33 @@ impl<M: EnumerableMachine> BucketSim<M> {
             0
         } else {
             let p = k2 as f64 / m2 as f64;
-            let g = geometric_skip(unit_open01(self.rng.next_u64()), p);
+            // The inversion table answers with the same value the direct
+            // computation would produce for this raw draw; a miss falls
+            // back to the `ln` inversion on the *same* draw, so the coin
+            // stream is bit-identical either way.
+            let raw = self.rng.next_u64();
+            let g = self
+                .geo
+                .note(p)
+                .and_then(|c| c.lookup(raw))
+                .unwrap_or_else(|| geometric_skip(unit_open01(raw), p));
             // Candidate would land past the budget: the whole remaining
             // window is ineffective (P(skips ≥ r) is exactly the naive
             // probability of r misses in a row).
             if g >= remaining as f64 {
-                self.book.steps = max_steps;
+                self.book.steps = u128::from(max_steps);
                 return EventStep::BudgetExhausted;
             }
             g as u64
         };
-        self.book.steps += skipped + 1;
+        self.book.steps += u128::from(skipped) + 1;
 
         let (u, v) = self.draw_candidate(k2);
+        let (u, v) = if self.commits.is_empty() {
+            (u, v)
+        } else {
+            self.redirect_committed(u, v)
+        };
         let pair = (u, v);
         let link = Link::from(self.sp.is_active(u, v));
         let (su, sv) = (self.sp.state_index(u), self.sp.state_index(v));
@@ -822,14 +1054,14 @@ impl<M: EnumerableMachine> BucketSim<M> {
         loop {
             match self.advance(max_steps) {
                 EventStep::Quiescent => {
-                    self.book.steps = self.book.steps.max(max_steps);
+                    self.book.steps = self.book.steps.max(u128::from(max_steps));
                     return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
+                        steps: sat64(self.book.steps),
                     };
                 }
                 EventStep::BudgetExhausted => {
                     return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
+                        steps: sat64(self.book.steps),
                     }
                 }
                 EventStep::Candidate { result, .. } => {
@@ -844,6 +1076,18 @@ impl<M: EnumerableMachine> BucketSim<M> {
     /// Like [`run_until`](Self::run_until) but only re-evaluates the
     /// predicate when an edge changes. Correct (and faster) for
     /// predicates that depend only on the output graph.
+    ///
+    /// This is also where the **batched endgame** engages: when every
+    /// on-candidate is an edge of a lone-walker path (the merging-lines
+    /// endgame of Simple Global Line and its kin), the engine opens a
+    /// continuous-time session that absorbs whole walks from their exact
+    /// first-passage laws instead of draw by draw, racing them against
+    /// the remaining off-candidates through independent Poisson clocks.
+    /// Batching is sound precisely here — walk moves never change edges,
+    /// so no predicate evaluation point is skipped — and is gated to
+    /// unbounded budgets (a session cannot stop at an interior step
+    /// count) and to fault plans with no pending events (a session
+    /// cannot be interrupted).
     pub fn run_until_edges(
         &mut self,
         mut stable: impl FnMut(&SparsePop) -> bool,
@@ -852,17 +1096,31 @@ impl<M: EnumerableMachine> BucketSim<M> {
         if stable(&self.sp) {
             return self.book.stabilized_now();
         }
+        let batching = max_steps == u64::MAX
+            && self.faults.as_ref().is_none_or(|fs| fs.next_at().is_none());
         loop {
+            if batching {
+                match self.endgame_step() {
+                    EndgameEvent::Applied { edge_changed } => {
+                        if edge_changed && stable(&self.sp) {
+                            self.endgame_finish();
+                            return self.book.stabilized_now();
+                        }
+                        continue;
+                    }
+                    EndgameEvent::Idle => {}
+                }
+            }
             match self.advance(max_steps) {
                 EventStep::Quiescent => {
-                    self.book.steps = self.book.steps.max(max_steps);
+                    self.book.steps = self.book.steps.max(u128::from(max_steps));
                     return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
+                        steps: sat64(self.book.steps),
                     };
                 }
                 EventStep::BudgetExhausted => {
                     return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
+                        steps: sat64(self.book.steps),
                     }
                 }
                 EventStep::Candidate {
@@ -885,10 +1143,10 @@ impl<M: EnumerableMachine> BucketSim<M> {
     /// geometric memorylessness makes stopping and resuming mid-skip
     /// exact (see [`EventSim::run_to`](crate::EventSim::run_to)).
     pub fn run_to(&mut self, target: u64) {
-        while self.book.steps < target {
+        while self.book.steps < u128::from(target) {
             match self.advance(target) {
                 EventStep::Quiescent => {
-                    self.book.steps = target;
+                    self.book.steps = u128::from(target);
                     return;
                 }
                 EventStep::BudgetExhausted => return,
@@ -897,11 +1155,708 @@ impl<M: EnumerableMachine> BucketSim<M> {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Batched endgame: closed-form absorption of lone random walkers.
+    // -----------------------------------------------------------------
+
+    /// Redirects a drawn candidate that touches a committed walker: the
+    /// walker's next move is distributed by the Doob h-transform of its
+    /// commitment, not by the unbiased choice between its two edges, so
+    /// the drawn neighbour is replaced by an [`h_step`] draw (the
+    /// drawn *orientation*, which is independent of the direction, is
+    /// kept). Everything else about the step — acceptance, the
+    /// interaction itself, the bookkeeping — stays on the ordinary path.
+    fn redirect_committed(&mut self, u: usize, v: usize) -> (usize, usize) {
+        let Some(ci) = self
+            .commits
+            .iter()
+            .position(|&(w, _)| w as usize == u || w as usize == v)
+        else {
+            return (u, v);
+        };
+        let w = self.commits[ci].0 as usize;
+        let walker_first = w == u;
+        let (z, len, exit0, rem) = {
+            let c = &self.commits[ci].1;
+            (c.z, c.path.len() - 1, c.exit0, c.rem)
+        };
+        let x2 = h_step(&mut self.rng, z, len, exit0, rem);
+        let target = self.commits[ci].1.path[x2] as usize;
+        if x2 == 0 || x2 == len {
+            // The commitment is spent: this step is the terminal contact
+            // (the interaction rule performs the absorption).
+            debug_assert_eq!(rem, 1);
+            self.commits.swap_remove(ci);
+        } else {
+            let c = &mut self.commits[ci].1;
+            c.z = x2;
+            c.rem = rem - 1;
+            // The swap about to be applied moves the walker state onto
+            // the target node.
+            self.commits[ci].0 = target as u32;
+        }
+        if walker_first {
+            (w, target)
+        } else {
+            (target, w)
+        }
+    }
+
+    /// Processes one batched-endgame event, opening a session first if
+    /// none is active. With a session open, every ordered candidate owns
+    /// an independent unit-rate Poisson clock, so the next event is the
+    /// earlier of the aggregated off-candidate clock (rate `off_total`,
+    /// memoryless — redrawn each call) and the earliest walker
+    /// absorption deadline; arrival order in session time is exactly the
+    /// discrete chain's candidate-draw order.
+    fn endgame_step(&mut self) -> EndgameEvent {
+        if self.eg.is_none() && !self.endgame_open() {
+            return EndgameEvent::Idle;
+        }
+        if self.dirty {
+            self.rebuild_weights();
+        }
+        let w_o = self.off_total;
+        let wcount = self.eg.as_ref().expect("session is open").walkers.len();
+        debug_assert_eq!(self.on_list.len(), 2 * wcount);
+        if w_o == 0 && wcount == 0 {
+            // Empty candidate set: close and let the per-draw path
+            // report quiescence.
+            self.endgame_finish();
+            return EndgameEvent::Idle;
+        }
+        // Earliest walker deadline; ids are never reused, so an id
+        // missing from the registry marks a stale heap entry.
+        let next_walker = {
+            let eg = self.eg.as_mut().expect("session is open");
+            loop {
+                match eg.heap.peek() {
+                    Some(&Reverse((bits, id))) => {
+                        if eg.walkers.contains_key(&id) {
+                            break Some((f64::from_bits(bits), id));
+                        }
+                        eg.heap.pop();
+                    }
+                    None => break None,
+                }
+            }
+        };
+        let t_ext = (w_o > 0).then(|| {
+            let u = unit_open01(self.rng.next_u64());
+            self.eg.as_ref().expect("session is open").now - u.ln() / w_o as f64
+        });
+        let (tau, absorb) = match (t_ext, next_walker) {
+            (Some(te), Some((td, _))) if te <= td => (te, None),
+            (Some(te), None) => (te, None),
+            (_, Some((td, id))) => (td, Some(id)),
+            (None, None) => unreachable!("some candidate clock exists"),
+        };
+        {
+            // Skipped (certainly-ineffective) raw draws accrue as a
+            // Poisson count with the pre-event candidate weight.
+            let n = self.sp.n() as u64;
+            let m2 = (n * (n - 1)) as f64;
+            let k2 = w_o as f64 + 4.0 * wcount as f64;
+            let eg = self.eg.as_mut().expect("session is open");
+            eg.reject_integral += (m2 - k2) * (tau - eg.now);
+            eg.now = tau;
+        }
+        match absorb {
+            Some(id) => self.endgame_absorb(id),
+            None => self.endgame_external(),
+        }
+    }
+
+    /// One aggregated off-candidate event: a uniform off-candidate draw
+    /// applied through the standard accept/reject machinery. Off-link
+    /// isolation (validated for every path state) keeps externals off
+    /// the walker paths, so the lazily-parked walker states are never
+    /// observed; an effective external may *create* walker paths, which
+    /// register here, or break batchable form, which closes the session.
+    fn endgame_external(&mut self) -> EndgameEvent {
+        self.eg.as_mut().expect("session is open").cand_done += 1;
+        let r = self.rng.random_range(0..self.off_total);
+        let (u, v) = self.off_candidate_at(r);
+        debug_assert!(
+            {
+                let eg = self.eg.as_ref().expect("session is open");
+                !eg.claim.contains_key(&(u as u32)) && !eg.claim.contains_key(&(v as u32))
+            },
+            "off-isolation keeps externals off walker paths"
+        );
+        let link = Link::from(self.sp.is_active(u, v));
+        let (su, sv) = (self.sp.state_index(u), self.sp.state_index(v));
+        let outcome = if self.table.can_affect(su, sv, link) {
+            (self.interact)(&self.machine, su, sv, link, &mut self.rng)
+        } else {
+            None
+        };
+        let Some((a2, b2, l2)) = outcome else {
+            // An off-bucket pair sitting on an active edge, or a sampled
+            // identity: one ordinary ineffective step.
+            return self.endgame_ineffective();
+        };
+        self.probe_at = QUIESCENCE_PROBE;
+        let edge_changed = l2 != link;
+        if edge_changed {
+            let on_pos = self.sp.set_edge(u, v, l2.is_on());
+            if on_pos != NOT_ON {
+                self.on_list_remove(on_pos as usize);
+            }
+        }
+        if self.sp.set_state_index(u, a2) | self.sp.set_state_index(v, b2) {
+            self.dirty = true;
+        }
+        self.refresh_on_incident(u);
+        self.refresh_on_incident(v);
+        {
+            let eg = self.eg.as_mut().expect("session is open");
+            eg.ineff_run = 0;
+            eg.eff_done += 1;
+            let mark = Mark {
+                tau: eg.now,
+                cand_done: eg.cand_done,
+                reject_integral: eg.reject_integral,
+            };
+            eg.eff_mark = Some(mark);
+            if edge_changed {
+                eg.edge_events += 1;
+                eg.change = Some(mark);
+                // Every absorption so far is fully inside the new mark's
+                // candidate tally.
+                eg.absorbed_recs.clear();
+            }
+        }
+        if !self.endgame_register_incident(&[u as u32, v as u32]) {
+            self.endgame_finish();
+            self.endgame_retry_after = self.book.effective_steps + ENDGAME_RETRY;
+        }
+        EndgameEvent::Applied { edge_changed }
+    }
+
+    /// Books one rejected/identity off-candidate draw, running the exact
+    /// quiescence probe when the session has no walkers left (the view
+    /// is then fully materialized, so the scan's verdict is sound).
+    fn endgame_ineffective(&mut self) -> EndgameEvent {
+        let (run, no_walkers) = {
+            let eg = self.eg.as_mut().expect("session is open");
+            eg.ineff_run += 1;
+            (eg.ineff_run, eg.walkers.is_empty())
+        };
+        if no_walkers && run >= self.probe_at {
+            if self.is_quiescent_scan() {
+                self.endgame_finish();
+                // `advance` re-certifies immediately and reports
+                // `Quiescent`.
+                self.rejection_run = self.probe_at;
+            } else {
+                self.probe_at = self.probe_at.saturating_mul(2);
+            }
+        }
+        EndgameEvent::Applied {
+            edge_changed: false,
+        }
+    }
+
+    /// A walker's absorption deadline fired: credit its full own-draw
+    /// schedule, materialize it adjacent to its committed exit, and
+    /// apply the terminal contact as an ordinary effective interaction —
+    /// real rule, real coins, uniform orientation.
+    fn endgame_absorb(&mut self, id: u32) -> EndgameEvent {
+        let w = {
+            let eg = self.eg.as_mut().expect("session is open");
+            eg.heap.pop();
+            let w = eg.walkers.remove(&id).expect("deadline of a live walker");
+            for nd in &w.path {
+                eg.claim.remove(nd);
+            }
+            eg.cand_done += u128::from(w.rem);
+            eg.eff_done += u128::from(w.rem);
+            eg.ineff_run = 0;
+            // Draws of this walker that precede a pending change mark
+            // are missing from that mark's tally — keep what the close
+            // needs to split them.
+            if let Some(m) = eg.change {
+                if w.born < m.tau {
+                    eg.absorbed_recs.push_back(AbsorbedRec {
+                        rem: w.rem,
+                        born: w.born,
+                        gamma: w.gamma,
+                        absorbed_at: eg.now,
+                    });
+                }
+            }
+            w
+        };
+        self.probe_at = QUIESCENCE_PROBE;
+        let len = w.path.len() - 1;
+        let (adj, end) = if w.exit0 {
+            (w.path[1] as usize, w.path[0] as usize)
+        } else {
+            (w.path[len - 1] as usize, w.path[len] as usize)
+        };
+        let old = w.path[w.z] as usize;
+        if adj != old {
+            let s_w = self.sp.state_index(old);
+            let s_int = self.sp.state_index(adj);
+            self.sp.set_state_index(old, s_int);
+            self.sp.set_state_index(adj, s_w);
+            self.refresh_on_incident(old);
+        }
+        let (x, y) = if self.rng.random_bool(0.5) {
+            (adj, end)
+        } else {
+            (end, adj)
+        };
+        let (sx, sy) = (self.sp.state_index(x), self.sp.state_index(y));
+        let (a2, b2, l2) = (self.interact)(&self.machine, sx, sy, Link::On, &mut self.rng)
+            .expect("is_certain certified an effective contact");
+        let edge_changed = l2 != Link::On;
+        if edge_changed {
+            let on_pos = self.sp.set_edge(x, y, l2.is_on());
+            if on_pos != NOT_ON {
+                self.on_list_remove(on_pos as usize);
+            }
+        }
+        if self.sp.set_state_index(x, a2) | self.sp.set_state_index(y, b2) {
+            self.dirty = true;
+        }
+        self.refresh_on_incident(x);
+        self.refresh_on_incident(y);
+        {
+            let eg = self.eg.as_mut().expect("session is open");
+            let mark = Mark {
+                tau: eg.now,
+                cand_done: eg.cand_done,
+                reject_integral: eg.reject_integral,
+            };
+            eg.eff_mark = Some(mark);
+            if edge_changed {
+                eg.edge_events += 1;
+                eg.change = Some(mark);
+                eg.absorbed_recs.clear();
+            }
+        }
+        if !self.endgame_register_incident(&[old as u32, adj as u32, end as u32]) {
+            self.endgame_finish();
+            self.endgame_retry_after = self.book.effective_steps + ENDGAME_RETRY;
+        }
+        EndgameEvent::Applied { edge_changed }
+    }
+
+    /// Attempts to open a session: every on-candidate must validate into
+    /// a lone-walker path. Validation is a pure two-phase check — no
+    /// coins are consumed until every path has passed — so a failed
+    /// attempt leaves the per-draw engine untouched (and throttled from
+    /// rescanning for [`ENDGAME_RETRY`] effective steps).
+    fn endgame_open(&mut self) -> bool {
+        if self.dirty {
+            self.rebuild_weights();
+        }
+        if self.on_list.is_empty() || self.book.effective_steps < self.endgame_retry_after {
+            return false;
+        }
+        let mut fresh: Vec<(Vec<u32>, usize)> = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        for i in 0..self.on_list.len() {
+            let (a, b) = self.on_list[i];
+            let ac = seen.contains(&a);
+            let bc = seen.contains(&b);
+            if ac && bc {
+                continue; // second edge of an already-validated walker
+            }
+            if ac == bc {
+                if let Some((path, z)) = self.endgame_validate_path(a as usize, b as usize) {
+                    seen.extend(path.iter().copied());
+                    fresh.push((path, z));
+                    continue;
+                }
+            }
+            // A candidate straddling a path, or a failed validation.
+            self.endgame_retry_after = self.book.effective_steps + ENDGAME_RETRY;
+            return false;
+        }
+        self.eg = Some(Endgame::default());
+        for (path, z) in fresh {
+            self.endgame_register_path(path, z);
+        }
+        true
+    }
+
+    /// Scans the active edges incident to `nodes` for on-candidates not
+    /// yet owned by a registered walker, validating and registering each
+    /// new lone-walker path. Returns `false` when validation fails — the
+    /// configuration has left batchable form and the session must close.
+    fn endgame_register_incident(&mut self, nodes: &[u32]) -> bool {
+        let mut fresh: Vec<(Vec<u32>, usize)> = Vec::new();
+        {
+            let eg = self.eg.as_ref().expect("session is open");
+            let mut seen: HashSet<u32> = HashSet::new();
+            for &u in nodes {
+                for cell in &self.sp.adj[u as usize] {
+                    if cell.on_pos == NOT_ON {
+                        continue;
+                    }
+                    let v = cell.to;
+                    let uc = eg.claim.contains_key(&u) || seen.contains(&u);
+                    let vc = eg.claim.contains_key(&v) || seen.contains(&v);
+                    if uc && vc {
+                        // Claimed paths never gain candidates, so both
+                        // ends claimed means a known walker edge.
+                        debug_assert_eq!(eg.claim.get(&u), eg.claim.get(&v));
+                        continue;
+                    }
+                    if uc != vc {
+                        return false; // a candidate straddling a path
+                    }
+                    let Some((path, z)) = self.endgame_validate_path(u as usize, v as usize)
+                    else {
+                        return false;
+                    };
+                    seen.extend(path.iter().copied());
+                    fresh.push((path, z));
+                }
+            }
+        }
+        for (path, z) in fresh {
+            self.endgame_register_path(path, z);
+        }
+        true
+    }
+
+    /// Validates the maximal path through the on-candidate `{a, b}` as a
+    /// lone-walker path: a simple path whose unique walker interior
+    /// carries exactly the path's two on-candidates, whose interior
+    /// swaps are coin-free state exchanges
+    /// ([`EnumerableMachine::det_interaction`]), whose endpoint contacts
+    /// are certainly effective ([`EnumerableMachine::is_certain`]), and
+    /// whose states are isolated from every off-link rule — so until the
+    /// next endpoint contact the configuration evolves exactly as an
+    /// independent unbiased random walk under uniform labels. Every
+    /// requirement is *checked*, never assumed.
+    fn endgame_validate_path(&self, a: usize, b: usize) -> Option<(Vec<u32>, usize)> {
+        let path = self.extract_path(a, b)?;
+        let len = path.len() - 1;
+        if len < 2 {
+            return None;
+        }
+        // The on-candidates along the path must be exactly two adjacent
+        // edges — the walker sits between them.
+        let ons: Vec<usize> = (0..len)
+            .filter(|&i| self.edge_is_on_entry(path[i] as usize, path[i + 1] as usize))
+            .collect();
+        let z = match ons.as_slice() {
+            &[i, j] if j == i + 1 => i + 1,
+            _ => return None,
+        };
+        let states: Vec<usize> = path
+            .iter()
+            .map(|&x| self.sp.state_index(x as usize))
+            .collect();
+        let s_w = states[z];
+        // Interior uniformity off the walker.
+        let mut s_int = None;
+        for (x, &s) in states.iter().enumerate().take(len).skip(1) {
+            if x == z {
+                continue;
+            }
+            match s_int {
+                None => s_int = Some(s),
+                Some(si) if si == s => {}
+                _ => return None,
+            }
+        }
+        if s_int == Some(s_w) {
+            return None;
+        }
+        // Interior moves must be pure coin-free state swaps, and an
+        // interior–interior or interior–endpoint edge must never become
+        // a candidate as the walker moves past it.
+        if let Some(si) = s_int {
+            let fwd = self.machine.det_interaction(s_w, si, Link::On);
+            let rev = self.machine.det_interaction(si, s_w, Link::On);
+            if fwd != Some((si, s_w, Link::On)) || rev != Some((s_w, si, Link::On)) {
+                return None;
+            }
+            if self.table.can_affect(si, si, Link::On) {
+                return None;
+            }
+        }
+        // Endpoint contacts must be certainly effective (so hitting the
+        // boundary *is* absorption).
+        for &e in &[states[0], states[len]] {
+            if !self.machine.is_certain(s_w, e, Link::On)
+                || !self.machine.is_certain(e, s_w, Link::On)
+            {
+                return None;
+            }
+            if let Some(si) = s_int {
+                if self.table.can_affect(si, e, Link::On) {
+                    return None;
+                }
+            }
+        }
+        // Off-link isolation for every state on the path: no off rule
+        // may ever select a path node, whatever states the rest of the
+        // population reaches (`can_affect` is symmetric).
+        let size = self.table.size();
+        for s in [Some(s_w), s_int, Some(states[0]), Some(states[len])]
+            .into_iter()
+            .flatten()
+        {
+            for x in 0..size {
+                if self.table.can_affect(s, x, Link::Off) {
+                    return None;
+                }
+            }
+        }
+        Some((path, z))
+    }
+
+    /// Whether the active edge `{u, v}` currently rides the on list.
+    fn edge_is_on_entry(&self, u: usize, v: usize) -> bool {
+        self.sp.adj[u]
+            .iter()
+            .find(|c| c.to as usize == v)
+            .is_some_and(|c| c.on_pos != NOT_ON)
+    }
+
+    /// Registers a validated lone-walker path: reuses a carried per-draw
+    /// commitment if the walker has one, otherwise samples the joint
+    /// absorption law ([`sample_absorption`]), then embeds the schedule
+    /// in the session clock — the walker's four ordered candidates form
+    /// a rate-4 Poisson class, so its `rem`-th own-draw lands at
+    /// `born + Gamma(rem)/4`.
+    fn endgame_register_path(&mut self, path: Vec<u32>, z: usize) {
+        let len = path.len() - 1;
+        let (rem, exit0) = match self.commits.iter().position(|&(wn, _)| wn == path[z]) {
+            Some(ci) => {
+                let (_, c) = self.commits.swap_remove(ci);
+                debug_assert!(c.z == z && c.path == path);
+                (c.rem, c.exit0)
+            }
+            None => {
+                let (exit0, rem) = sample_absorption(&mut self.rng, z, len);
+                (rem, exit0)
+            }
+        };
+        let gamma = sample_gamma(&mut self.rng, rem as f64);
+        let eg = self.eg.as_mut().expect("session is open");
+        let id = eg.next_id;
+        eg.next_id += 1;
+        let deadline = eg.now + gamma / 4.0;
+        eg.heap.push(Reverse((deadline.to_bits(), id)));
+        for &nd in &path {
+            let prev = eg.claim.insert(nd, id);
+            debug_assert!(prev.is_none(), "path nodes are unclaimed");
+        }
+        eg.walkers.insert(
+            id,
+            Walker {
+                path,
+                z,
+                exit0,
+                rem,
+                born: eg.now,
+                gamma,
+            },
+        );
+    }
+
+    /// Follows active edges outward from `from` (coming from `prev`)
+    /// through degree-2 nodes, appending every node visited; `None` on a
+    /// junction (degree > 2) or a cycle.
+    fn extend_ray(&self, from: usize, mut prev: usize, out: &mut Vec<u32>) -> Option<()> {
+        let mut cur = from;
+        loop {
+            out.push(cur as u32);
+            if out.len() > self.sp.n() {
+                return None; // closed cycle: no endpoints to stop at
+            }
+            match self.sp.degree(cur) {
+                1 => return Some(()),
+                2 => {
+                    let next = self
+                        .sp
+                        .neighbors(cur)
+                        .find(|&w| w != prev)
+                        .expect("degree 2 has a second neighbour");
+                    prev = cur;
+                    cur = next;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The maximal simple path through the active edge `{a, b}`, as the
+    /// ordered node chain; `None` on junctions or cycles. The chain is
+    /// canonically oriented (smaller endpoint id first) so that repeated
+    /// extractions of an unchanged line agree — commitments store
+    /// positions and exit sides relative to this orientation.
+    fn extract_path(&self, a: usize, b: usize) -> Option<Vec<u32>> {
+        let mut left: Vec<u32> = Vec::new();
+        self.extend_ray(a, b, &mut left)?;
+        left.reverse();
+        let mut path = left;
+        self.extend_ray(b, a, &mut path)?;
+        if path[0] > *path.last().expect("a ray visits at least one node") {
+            path.reverse();
+        }
+        Some(path)
+    }
+
+    /// Closes the session at its current clock: samples each alive
+    /// walker's progress (`Binomial(rem−1, ·)` over the uniform arrival
+    /// times of its Gamma embedding), restores the deferred raw-step
+    /// clock (the candidate totals plus the Poisson count of skipped
+    /// draws), resolves the pending marks into raw step indices, and
+    /// materializes the alive walkers back into per-draw commitments via
+    /// the future-conditioned propagator. No-op without an open session.
+    fn endgame_finish(&mut self) {
+        let Some(eg) = self.eg.take() else { return };
+        let tau_end = eg.now;
+        // Alive walkers' progress, in id order (deterministic coins): a
+        // rate-4 Poisson clock conditioned on its `rem`-th arrival at
+        // `born + gamma/4` puts the first `rem − 1` arrivals iid uniform
+        // on that span.
+        let mut alive: Vec<(u32, u64)> = Vec::with_capacity(eg.walkers.len());
+        let mut cand_total = eg.cand_done;
+        let mut eff_total = eg.eff_done;
+        for (&id, w) in &eg.walkers {
+            let span = tau_end - w.born;
+            let j = if w.rem <= 1 || span <= 0.0 {
+                0
+            } else {
+                let p = (4.0 * span / w.gamma).clamp(0.0, 1.0);
+                sample_binomial(&mut self.rng, w.rem - 1, p)
+            };
+            cand_total += u128::from(j);
+            eff_total += u128::from(j);
+            alive.push((id, j));
+        }
+        // Skipped draws: Poisson with the accrued ineffective intensity.
+        let rejected = if eg.reject_integral > 0.0 {
+            sample_poisson(&mut self.rng, eg.reject_integral)
+        } else {
+            0
+        };
+        let base = self.book.steps;
+        self.book.steps = base + cand_total + rejected;
+        self.book.effective_steps += eff_total;
+        self.book.edge_events += eg.edge_events;
+        // `last_effective`: every close path ends on an effective event
+        // except the quiescence-probe close, where no walkers remain, so
+        // the mark resolves from its candidate tally plus a thinned
+        // share of the skipped draws alone (an inhomogeneous Poisson
+        // count splits at a time by its intensity-integral ratio).
+        let mut rej_before_eff = rejected;
+        if let Some(me) = eg.eff_mark {
+            self.book.last_effective = if me.tau == tau_end {
+                self.book.steps
+            } else {
+                debug_assert!(
+                    alive.is_empty(),
+                    "a mid-session eff mark only survives a probe close"
+                );
+                let re = if rejected > 0 {
+                    let p = (me.reject_integral / eg.reject_integral).clamp(0.0, 1.0);
+                    let r64 = u64::try_from(rejected).unwrap_or(u64::MAX);
+                    u128::from(sample_binomial(&mut self.rng, r64, p))
+                } else {
+                    0
+                };
+                rej_before_eff = re;
+                base + me.cand_done + re
+            };
+        }
+        // `last_output_change`: the change mark precedes (or is) the eff
+        // mark, so the draws resolved at close thin consistently inside
+        // the eff mark's shares.
+        if let Some(mc) = eg.change {
+            let me = eg.eff_mark.expect("an edge change is an effective event");
+            self.book.last_output_change = if mc.tau == me.tau {
+                self.book.last_effective
+            } else {
+                let mut idx = base + mc.cand_done;
+                for &(id, j) in &alive {
+                    let w = &eg.walkers[&id];
+                    if j == 0 || w.born >= mc.tau {
+                        continue;
+                    }
+                    let p = ((mc.tau - w.born) / (tau_end - w.born)).clamp(0.0, 1.0);
+                    idx += u128::from(sample_binomial(&mut self.rng, j, p));
+                }
+                for rec in &eg.absorbed_recs {
+                    if rec.absorbed_at <= mc.tau || rec.born >= mc.tau || rec.rem <= 1 {
+                        continue;
+                    }
+                    let p = (4.0 * (mc.tau - rec.born) / rec.gamma).clamp(0.0, 1.0);
+                    idx += u128::from(sample_binomial(&mut self.rng, rec.rem - 1, p));
+                }
+                if rej_before_eff > 0 {
+                    let p = (mc.reject_integral / me.reject_integral.max(f64::MIN_POSITIVE))
+                        .clamp(0.0, 1.0);
+                    let r64 = u64::try_from(rej_before_eff).unwrap_or(u64::MAX);
+                    idx += u128::from(sample_binomial(&mut self.rng, r64, p));
+                }
+                idx
+            };
+        }
+        // Materialize the alive walkers: position from the
+        // future-conditioned bridge, remainder carried as a commitment.
+        for &(id, j) in &alive {
+            let w = &eg.walkers[&id];
+            let len = w.path.len() - 1;
+            let rem = w.rem - j;
+            let z2 = if j == 0 {
+                w.z
+            } else {
+                let weights = bridge_weights_with_future(w.z, len, j, rem, w.exit0);
+                // A numerically dead row (astronomically late bridges
+                // underflow the spectral terms) must still land in the
+                // interior.
+                sample_weighted(&mut self.rng, &weights).clamp(1, len - 1)
+            };
+            let old = w.path[w.z] as usize;
+            let new = w.path[z2] as usize;
+            if new != old {
+                let s_w = self.sp.state_index(old);
+                let s_int = self.sp.state_index(new);
+                self.sp.set_state_index(old, s_int);
+                self.sp.set_state_index(new, s_w);
+                self.refresh_on_incident(old);
+                self.refresh_on_incident(new);
+            }
+            self.commits.push((
+                w.path[z2],
+                Commit {
+                    path: w.path.clone(),
+                    z: z2,
+                    rem,
+                    exit0: w.exit0,
+                },
+            ));
+        }
+        // The configuration moved while the per-draw rejection evidence
+        // was idle; void it.
+        self.rejection_run = 0;
+        self.probe_at = QUIESCENCE_PROBE;
+    }
+
     /// Applies one resolved fault event by pure bucket/on-list
     /// reclassification: crashed nodes leave their bucket and shed their
     /// active edges; arrivals re-enter their retained bucket; deleted
     /// edges leave the on list. The skip denominator never moves.
     fn apply_resolved(&mut self, resolved: ResolvedFault) {
+        debug_assert!(
+            self.commits.is_empty(),
+            "fault events and endgame commitments cannot coexist"
+        );
+        debug_assert!(
+            self.eg.is_none(),
+            "fault events never land inside an endgame session"
+        );
         match resolved {
             ResolvedFault::Noop => return,
             ResolvedFault::Crash(x) => {
@@ -977,7 +1932,7 @@ impl<M: EnumerableMachine> BucketSim<M> {
     fn apply_due_faults(&mut self) {
         loop {
             let resolved = match &mut self.faults {
-                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
+                Some(fs) if fs.next_at().is_some_and(|at| u128::from(at) <= self.book.steps) => {
                     fs.resolve_next().expect("next_at implies a pending event")
                 }
                 _ => return,
@@ -1053,7 +2008,7 @@ impl<M: EnumerableMachine> BucketSim<M> {
                 Some(_) => {
                     self.run_to(max_steps);
                     return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
+                        steps: sat64(self.book.steps),
                     };
                 }
                 None => break,
@@ -1065,14 +2020,14 @@ impl<M: EnumerableMachine> BucketSim<M> {
         loop {
             match self.advance(max_steps) {
                 EventStep::Quiescent => {
-                    self.book.steps = self.book.steps.max(max_steps);
+                    self.book.steps = self.book.steps.max(u128::from(max_steps));
                     return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
+                        steps: sat64(self.book.steps),
                     };
                 }
                 EventStep::BudgetExhausted => {
                     return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
+                        steps: sat64(self.book.steps),
                     }
                 }
                 EventStep::Candidate { result, .. } => {

@@ -75,6 +75,28 @@ pub trait EnumerableMachine: Machine {
             .map(|s| self.state_index(&s))
     }
 
+    /// Whether an interaction on the triple is **certainly** effective:
+    /// every outcome the rule can produce (over any coin values) differs
+    /// from the input triple, so `interact_indexed` never returns
+    /// `None`. The default `false` is always sound — engines use this
+    /// only as an optimization gate (batched endgame sampling); compiled
+    /// machines override it from their δ slots.
+    fn is_certain(&self, a: usize, b: usize, link: Link) -> bool {
+        let _ = (a, b, link);
+        false
+    }
+
+    /// The outcome of a **deterministic, coin-free** interaction:
+    /// `Some(rhs)` only when `interact_indexed` on the triple always
+    /// returns `Some(rhs)` *and consumes no randomness* (in particular
+    /// the rule is not subject to the §3.1 symmetry coin). `None` is
+    /// always sound; the batched endgame uses this to recognize pure
+    /// state-swap walk rules.
+    fn det_interaction(&self, a: usize, b: usize, link: Link) -> Option<(usize, usize, Link)> {
+        let _ = (a, b, link);
+        None
+    }
+
     /// [`Machine::interact`] over dense indices with a monomorphic
     /// generator. The default routes through `interact`; compiled
     /// machines override it with a direct table walk.
@@ -452,6 +474,37 @@ impl EnumerableMachine for CompiledTable {
         StateId::new(u16::try_from(index).expect("CompiledTable has ≤ 65536 states"))
     }
 
+    fn is_certain(&self, a: usize, b: usize, link: Link) -> bool {
+        let input = Packed::new(a as u16, b as u16, link);
+        match self.slots[slot(self.size, a, b, link)] {
+            Slot::Empty => false,
+            // A symmetry-coin RHS (a == b, a2 ≠ b2) is certain either
+            // way: neither order can equal the diagonal input.
+            Slot::Det(p) => p != input,
+            Slot::Random { start, len, .. } => self.alts[start as usize..(start + len) as usize]
+                .iter()
+                .all(|&(w, p)| w == 0 || p != input),
+        }
+    }
+
+    fn det_interaction(&self, a: usize, b: usize, link: Link) -> Option<(usize, usize, Link)> {
+        match self.slots[slot(self.size, a, b, link)] {
+            Slot::Det(p) => {
+                let (a2, b2, l2) = p.unpack();
+                if a == b && a2 != b2 {
+                    return None; // consumes the §3.1 symmetry coin
+                }
+                let (a2, b2) = (usize::from(a2), usize::from(b2));
+                if (a2, b2, l2) == (a, b, link) {
+                    None // identity RHS: interact_indexed returns None
+                } else {
+                    Some((a2, b2, l2))
+                }
+            }
+            _ => None,
+        }
+    }
+
     fn interact_indexed<R: Rng + ?Sized>(
         &self,
         a: usize,
@@ -610,6 +663,53 @@ mod tests {
         assert_eq!(c.num_states(), 3);
         assert_eq!(c.state_at(2), StateId::new(2));
         assert_eq!(c.state_index(&StateId::new(2)), 2);
+    }
+
+    /// `is_certain`/`det_interaction` must be conservative abstractions
+    /// of `interact_indexed`: certainty ⟹ never-`None`, and a reported
+    /// deterministic RHS ⟹ that exact result with zero coin consumption.
+    #[test]
+    fn certainty_and_det_queries_abstract_interact() {
+        let mut b = ProtocolBuilder::new("mix");
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let l = b.state("l");
+        b.rule((q0, q0, OFF), (q1, l, ON)); // diagonal + asymmetric: coin
+        b.rule((l, q0, OFF), (q1, l, ON)); // pure det
+        b.rule((q1, q1, ON), (q1, q1, OFF)); // diagonal symmetric: coin-free
+        b.rule_random((l, l, OFF), [(1, (l, l, OFF)), (1, (q1, q1, ON))]);
+        let c = b.build().expect("valid").compile();
+        for a in 0..c.num_states() {
+            for bb in 0..c.num_states() {
+                for link in [OFF, ON] {
+                    for seed in 0..16u64 {
+                        let mut r = SmallRng::seed_from_u64(seed);
+                        let before = r.clone();
+                        let got = c.interact_indexed(a, bb, link, &mut r);
+                        if c.is_certain(a, bb, link) {
+                            assert!(got.is_some(), "certain triple returned None");
+                        }
+                        if let Some(rhs) = c.det_interaction(a, bb, link) {
+                            assert_eq!(got, Some(rhs));
+                            assert_eq!(r, before, "det triple consumed coins");
+                        }
+                    }
+                }
+            }
+        }
+        // Spot checks: the diagonal asymmetric rule is certain but not
+        // det (coin); the identity-alternative random rule is neither.
+        let (iq0, il, iq1) = (q0.index(), l.index(), q1.index());
+        assert!(c.is_certain(iq0, iq0, OFF));
+        assert_eq!(c.det_interaction(iq0, iq0, OFF), None);
+        assert_eq!(c.det_interaction(il, iq0, OFF), Some((iq1, il, ON)));
+        assert_eq!(c.det_interaction(iq1, iq1, ON), Some((iq1, iq1, OFF)));
+        assert!(!c.is_certain(il, il, OFF));
+        assert!(!c.is_certain(iq0, iq1, OFF));
+        // Defaults on the interpreted protocol stay conservative.
+        let p = line_protocol();
+        assert!(!EnumerableMachine::is_certain(&p, 0, 0, OFF));
+        assert_eq!(EnumerableMachine::det_interaction(&p, 0, 0, OFF), None);
     }
 
     #[test]

@@ -205,6 +205,179 @@ pub fn hypergeometric_count(u01: f64, marked: u64, total: u64, draws: u64) -> u6
     hi
 }
 
+/// Windowed variant of [`hypergeometric_count`] for huge parameters:
+/// identical law, but the ratio-recurrence table is built only on a
+/// `±(12σ + 32)` window around the mode instead of the full support, so
+/// the cost is O(σ) instead of O(range). The truncated tail mass is
+/// below `e⁻⁷²` relative — smaller than the `f64` rounding already
+/// inherent in the dense table — so the two functions agree in
+/// distribution; they may differ only on draws landing more than 12
+/// standard deviations into a tail. Delegates to the exact-support
+/// version whenever the full range is small.
+///
+/// The sparse round engine uses this to split skipped scheduled
+/// occurrences between pools whose sizes scale with `n²`.
+///
+/// # Panics
+///
+/// Debug-asserts the same preconditions as [`hypergeometric_count`].
+#[must_use]
+pub fn hypergeometric_count_large(u01: f64, marked: u64, total: u64, draws: u64) -> u64 {
+    debug_assert!(marked <= total && draws <= total);
+    debug_assert!(u01 > 0.0 && u01 <= 1.0);
+    let unmarked = total - marked;
+    let lo = draws.saturating_sub(unmarked);
+    let hi = marked.min(draws);
+    if hi - lo <= 4096 {
+        return hypergeometric_count(u01, marked, total, draws);
+    }
+    let (nf, kf, mf) = (total as f64, draws as f64, marked as f64);
+    let p = mf / nf;
+    let sigma = (kf * p * (1.0 - p) * ((nf - kf) / (nf - 1.0))).sqrt();
+    let half = (12.0 * sigma) as u64 + 32;
+    let mode = ((u128::from(draws + 1) * u128::from(marked + 1)) / u128::from(total + 2)) as u64;
+    let mode = mode.clamp(lo, hi);
+    let wlo = mode.saturating_sub(half).max(lo);
+    let whi = mode.saturating_add(half).min(hi);
+    let ratio = |x: u64| -> f64 {
+        ((marked - x) as f64 * (draws - x) as f64)
+            / ((x + 1) as f64 * (unmarked + x + 1 - draws) as f64)
+    };
+    let mut pmf = vec![0.0f64; (whi - wlo + 1) as usize];
+    pmf[(mode - wlo) as usize] = 1.0;
+    let mut q = 1.0f64;
+    for x in mode..whi {
+        q *= ratio(x);
+        pmf[(x + 1 - wlo) as usize] = q;
+    }
+    q = 1.0;
+    for x in (wlo..mode).rev() {
+        q /= ratio(x);
+        pmf[(x - wlo) as usize] = q;
+    }
+    let z: f64 = pmf.iter().sum();
+    let target = u01 * z;
+    let mut cum = 0.0f64;
+    for (i, &p) in pmf.iter().enumerate() {
+        cum += p;
+        if cum >= target {
+            return wlo + i as u64;
+        }
+    }
+    whi
+}
+
+/// A cached inversion table for [`geometric_skip`] at one fixed hit
+/// probability `p`: for small skip counts the floor inversion is a pure
+/// threshold function of the raw draw's 53-bit mantissa, so the table
+/// stores the integer cut points and the steady-state path answers most
+/// draws with one binary search over 64 `u64`s instead of an `ln`.
+///
+/// **Bit-identical by construction**: each cut point is found by binary
+/// search *over the real function* — `cuts[t]` is the smallest mantissa
+/// value `j = (raw >> 11) + 1` with
+/// `geometric_skip(unit_open01(raw), p) ≤ t` — so on a cache hit the
+/// answer equals what the direct computation would have produced for the
+/// same raw draw, and a miss (skip beyond the tabled horizon, or a
+/// different `p`) falls back to the direct computation on the *same*
+/// draw. The engines' coin streams are therefore unchanged.
+#[derive(Debug, Clone)]
+pub struct GeoSkipCache {
+    p: f64,
+    /// `cuts[t]` = smallest mantissa `j` whose skip is ≤ `t`;
+    /// non-increasing in `t` (larger `u` ⇒ fewer skips).
+    cuts: Vec<u64>,
+}
+
+/// Tabled skip horizon: draws that skip more than this many candidates
+/// fall back to the direct `ln` inversion. 64 entries cover
+/// `1 − (1−p)^65` of draws — essentially all of them in the dense-`p`
+/// steady state the cache targets.
+pub const GEO_CACHE_HORIZON: usize = 64;
+
+impl GeoSkipCache {
+    /// Builds the table for hit probability `p ∈ (0, 1)`.
+    #[must_use]
+    pub fn build(p: f64) -> Self {
+        debug_assert!(p > 0.0 && p < 1.0);
+        let skip_of = |j: u64| geometric_skip(j as f64 * (1.0 / (1u64 << 53) as f64), p);
+        let mut cuts = Vec::with_capacity(GEO_CACHE_HORIZON + 1);
+        for t in 0..=GEO_CACHE_HORIZON as u64 {
+            // Smallest j in [1, 2⁵³] with skip(j) ≤ t; skip is
+            // non-increasing in j and skip(2⁵³) = 0.
+            let (mut lo, mut hi) = (1u64, 1u64 << 53);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if skip_of(mid) <= t as f64 {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            cuts.push(lo);
+        }
+        Self { p, cuts }
+    }
+
+    /// The probability the table was built for.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The skip count for a raw 64-bit draw, or `None` when the draw
+    /// falls beyond the tabled horizon (caller recomputes directly from
+    /// the same draw).
+    #[inline]
+    #[must_use]
+    pub fn lookup(&self, raw: u64) -> Option<f64> {
+        let j = (raw >> 11) + 1;
+        if j < self.cuts[GEO_CACHE_HORIZON] {
+            return None;
+        }
+        // cuts is non-increasing; the skip is the first t with cuts[t] ≤ j.
+        Some(self.cuts.partition_point(|&c| c > j) as f64)
+    }
+}
+
+/// Streak-counting lazy builder for [`GeoSkipCache`]: engines call
+/// [`note`](Self::note) with the current hit probability before each
+/// skip draw and get a cache back once the same `p` has recurred long
+/// enough to amortize the table build.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GeoCacheSlot {
+    cache: Option<GeoSkipCache>,
+    streak_p: f64,
+    streak: u32,
+}
+
+/// Builds after this many consecutive draws at one `p` (the table build
+/// costs ~64 binary searches of ~53 `ln` evaluations).
+const GEO_CACHE_STREAK: u32 = 512;
+
+impl GeoCacheSlot {
+    /// Returns the cache valid for `p`, if one is (or just became) warm.
+    #[inline]
+    pub(crate) fn note(&mut self, p: f64) -> Option<&GeoSkipCache> {
+        if let Some(c) = &self.cache {
+            if c.p() == p {
+                return self.cache.as_ref();
+            }
+        }
+        if self.streak_p == p {
+            self.streak += 1;
+            if self.streak >= GEO_CACHE_STREAK && p > 0.0 && p < 1.0 {
+                self.cache = Some(GeoSkipCache::build(p));
+                return self.cache.as_ref();
+            }
+        } else {
+            self.streak_p = p;
+            self.streak = 1;
+        }
+        None
+    }
+}
+
 /// The output graph of a configuration: active edges restricted to nodes
 /// in output states (`G(C)` in §3.1). Shared by both engines'
 /// `output_graph` methods.
@@ -1038,6 +1211,96 @@ mod tests {
         assert_eq!(hypergeometric_count(0.5, 3, 7, 7), 3);
         // draws > unmarked forces a lower bound above zero.
         assert_eq!(hypergeometric_count(1e-12, 5, 8, 6), 3);
+    }
+
+    /// The windowed large-parameter splitter delegates exactly on small
+    /// ranges and lands inside the correct CDF bracket on huge ones.
+    #[test]
+    fn hypergeometric_count_large_matches_the_law() {
+        // Small ranges: bit-identical delegation.
+        for &(m, t, d) in &[(5u64, 12u64, 7u64), (300, 1000, 400), (2000, 9000, 3000)] {
+            for i in 0..50u64 {
+                let u = (i as f64 + 0.5) / 50.0;
+                assert_eq!(
+                    hypergeometric_count_large(u, m, t, d),
+                    hypergeometric_count(u, m, t, d)
+                );
+            }
+        }
+        // Huge parameters: the result must bracket u in the normalized
+        // window CDF (checked via the same mode-pinned recurrence).
+        let (m, t, d) = (40_000_000u64, 100_000_000u64, 25_000_000u64);
+        let mean = d as f64 * m as f64 / t as f64;
+        let sigma = (d as f64 * 0.4 * 0.6 * ((t - d) as f64 / (t - 1) as f64)).sqrt();
+        for i in 0..40u64 {
+            let u = (i as f64 + 0.5) / 40.0;
+            let x = hypergeometric_count_large(u, m, t, d) as f64;
+            assert!(
+                (x - mean).abs() < 8.0 * sigma,
+                "u={u}: {x} implausibly far from mean {mean} (σ={sigma})"
+            );
+        }
+        // Monotone in u (a CDF inversion must be).
+        let mut prev = 0;
+        for i in 0..200u64 {
+            let u = (i as f64 + 0.5) / 200.0;
+            let x = hypergeometric_count_large(u, m, t, d);
+            assert!(x >= prev, "inversion not monotone at u={u}");
+            prev = x;
+        }
+    }
+
+    /// Cache hits must be bit-identical to the direct inversion on the
+    /// same raw draw, and misses must be exactly the beyond-horizon
+    /// draws.
+    #[test]
+    fn geo_skip_cache_is_bit_identical_over_its_domain() {
+        for &p in &[0.5f64, 0.1, 0.037, 0.9, 1.0 / 3.0, 0.004] {
+            let cache = GeoSkipCache::build(p);
+            assert_eq!(cache.p(), p);
+            let mut raw = 0x9E3779B97F4A7C15u64;
+            for _ in 0..4000 {
+                raw = raw.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let direct = geometric_skip(unit_open01(raw), p);
+                match cache.lookup(raw) {
+                    Some(hit) => assert_eq!(
+                        hit.to_bits(),
+                        direct.to_bits(),
+                        "p={p} raw={raw:#x}: cache {hit} ≠ direct {direct}"
+                    ),
+                    None => assert!(
+                        direct > GEO_CACHE_HORIZON as f64,
+                        "p={p} raw={raw:#x}: miss but direct skip {direct} is in-horizon"
+                    ),
+                }
+            }
+            // Boundary mantissas around every cut point.
+            for t in 0..=GEO_CACHE_HORIZON {
+                let j = cache.cuts[t];
+                for cand in [j.saturating_sub(1).max(1), j, (j + 1).min(1 << 53)] {
+                    let raw = (cand - 1) << 11;
+                    let direct = geometric_skip(unit_open01(raw), p);
+                    if let Some(hit) = cache.lookup(raw) {
+                        assert_eq!(hit.to_bits(), direct.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geo_cache_slot_warms_up_on_a_streak_and_resets_on_change() {
+        let mut slot = GeoCacheSlot::default();
+        for _ in 0..511 {
+            assert!(slot.note(0.25).is_none());
+        }
+        assert!(slot.note(0.25).is_some(), "warm after the streak");
+        assert!(slot.note(0.25).is_some(), "stays warm");
+        assert!(slot.note(0.5).is_none(), "new p invalidates");
+        for _ in 0..600 {
+            slot.note(0.5);
+        }
+        assert_eq!(slot.note(0.5).map(GeoSkipCache::p), Some(0.5));
     }
 
     #[test]

@@ -57,7 +57,8 @@ use rand::{Rng, RngExt, SeedableRng};
 
 use crate::compiled::EnumerableMachine;
 use crate::engine::{
-    apply_desired_row, geometric_skip, unit_open01, Bookkeeping, EffectIndex, PairSet, ScanIndex,
+    apply_desired_row, geometric_skip, unit_open01, Bookkeeping, EffectIndex, GeoCacheSlot,
+    PairSet, ScanIndex,
 };
 use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
@@ -140,6 +141,8 @@ pub struct EventSim<M: Machine> {
     pairs: PairSet,
     effects: Effects<M>,
     faults: Option<FaultState>,
+    /// Lazy inversion table for the hot `geometric_skip` parameter.
+    geo: GeoCacheSlot,
 }
 
 impl<M: EnumerableMachine> EventSim<M> {
@@ -200,6 +203,7 @@ impl<M: EnumerableMachine> EventSim<M> {
                 },
             },
             faults: None,
+            geo: GeoCacheSlot::default(),
         }
     }
 
@@ -275,6 +279,7 @@ impl<M: Machine> EventSim<M> {
             pairs,
             effects: Effects::Scan(scan),
             faults: None,
+            geo: GeoCacheSlot::default(),
         }
     }
 
@@ -381,7 +386,16 @@ impl<M: Machine> EventSim<M> {
         } else {
             // Inversion of the geometric law: P(skips ≥ t) = (1−p)^t.
             let p = k as f64 / m as f64;
-            let g = geometric_skip(unit_open01(self.rng.next_u64()), p);
+            // The inversion table answers with the same value the direct
+            // computation would produce for this raw draw; a miss falls
+            // back to the `ln` inversion on the *same* draw, so the coin
+            // stream is bit-identical either way.
+            let raw = self.rng.next_u64();
+            let g = self
+                .geo
+                .note(p)
+                .and_then(|c| c.lookup(raw))
+                .unwrap_or_else(|| geometric_skip(unit_open01(raw), p));
             // The candidate lands at steps + skips + 1: past the budget
             // means the whole remaining window is ineffective (this is
             // exact — P(skips ≥ r) equals the naive engine's probability

@@ -42,13 +42,17 @@
 //!   engine: hypergeometric within-round skips plus lazily-resolved
 //!   skipped-pair identities, for experiments that measure parallel
 //!   time in rounds;
+//! * [`round_bucket`] — [`RoundBucketSim`], the sparse exact
+//!   ShuffledRounds engine: the same round law in O(n + |Q|²) memory via
+//!   counted cohorts of scheduled identities, for round-denominated
+//!   sweeps at n ≥ 100 000;
 //! * [`select`] — [`Engine::auto`] / [`Engine::auto_for`], which pick an
 //!   engine for a scheduler family by a memory budget and run predicates
 //!   over a representation-neutral [`EngineView`];
 //! * [`fault`] — [`FaultPlan`] / [`FaultState`] / [`ChurnPlan`], the
 //!   deterministic seed-derived fault/churn layer (crashes, arrivals,
 //!   edge deletions, sustained Poisson churn, crash notifications)
-//!   shared by all four engines with exact candidate reclassification.
+//!   shared by all five engines with exact candidate reclassification.
 //!
 //! # Choosing an engine
 //!
@@ -61,7 +65,9 @@
 //! [`BucketSim`] trades a per-candidate rejection check for O(n + |Q|²)
 //! memory — the frontier engine beyond n ≈ 20 000. [`RoundSim`] is the
 //! same idea for the [`ShuffledRounds`] box scheduler, where parallel
-//! time is measured in rounds. [`Engine::auto`] makes the dense/sparse
+//! time is measured in rounds, and [`RoundBucketSim`] is its sparse
+//! counterpart for round-denominated runs at frontier sizes.
+//! [`Engine::auto`] makes the dense/sparse
 //! call for you; [`Engine::auto_for`] adds the scheduler family. The
 //! top-level `docs/engines.md` consolidates the exactness arguments and
 //! the measured decision table.
@@ -100,21 +106,25 @@ pub mod compiled;
 pub mod event;
 pub mod fault;
 pub mod round;
+pub mod round_bucket;
 pub mod rules;
 pub mod scheduler;
 pub mod seeds;
 pub mod select;
 pub mod sim;
 pub mod testing;
+pub mod walk;
 
 pub use bucket::{BucketSim, SparsePop};
 pub use compiled::{CompiledTable, EffectTable, EnumerableMachine};
 pub use engine::{
-    geometric_skip, hypergeometric_count, hypergeometric_skip, unit_open01, PairSet,
+    geometric_skip, hypergeometric_count, hypergeometric_count_large, hypergeometric_skip,
+    unit_open01, GeoSkipCache, PairSet,
 };
 pub use event::{EventSim, EventStep};
 pub use fault::{ChurnPlan, FaultEvent, FaultPlan, FaultState};
 pub use round::RoundSim;
+pub use round_bucket::RoundBucketSim;
 pub use select::{Engine, EngineView, SchedulerKind};
 pub use machine::Machine;
 pub use population::Population;

@@ -72,9 +72,10 @@
 //! and the shared effective index) plus a scheduled-pair bitset —
 //! ≈ `13n²` bytes, about 3× [`EventSim`](crate::EventSim)
 //! ([`RoundSim::dense_mem_estimate`] is the a-priori figure the engine
-//! selector weighs). There is no sparse ShuffledRounds engine;
-//! [`Engine::auto_for`](crate::Engine::auto_for) falls back to the naive
-//! loop beyond the budget.
+//! selector weighs). Beyond the budget,
+//! [`Engine::auto_for`](crate::Engine::auto_for) switches to
+//! [`RoundBucketSim`](crate::RoundBucketSim), the sparse exact engine
+//! that plays the same round law in O(n + |Q|²) memory.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
@@ -600,18 +601,23 @@ impl<M: EnumerableMachine> RoundSim<M> {
             let k = self.cand.len() as u64;
             if k == 0 {
                 // Every effective pair is already scheduled: the rest of
-                // the round is certainly ineffective.
-                if r >= remaining_budget {
-                    self.schedule_skips(remaining_budget);
-                    self.book.steps = max_steps;
-                    if self.book.steps.is_multiple_of(self.m) {
-                        self.reset_round();
+                // the round is certainly ineffective. When the budget
+                // reaches (or passes) the round boundary, take the whole
+                // round without resolving identities — `reset_round`
+                // would discard them anyway, and drawing them here would
+                // desynchronize the coin stream between a straight run
+                // and one stopped exactly on the boundary.
+                if r <= remaining_budget {
+                    self.book.steps += r;
+                    self.reset_round();
+                    if self.book.steps == max_steps {
+                        return EventStep::BudgetExhausted;
                     }
-                    return EventStep::BudgetExhausted;
+                    continue;
                 }
-                self.book.steps += r;
-                self.reset_round();
-                continue;
+                self.schedule_skips(remaining_budget);
+                self.book.steps = max_steps;
+                return EventStep::BudgetExhausted;
             }
             let skipped = hypergeometric_skip(unit_open01(self.rng.next_u64()), r, k);
             if skipped >= remaining_budget {

@@ -1,0 +1,1989 @@
+//! The sparse exact ShuffledRounds engine: [`RoundSim`](crate::RoundSim)'s
+//! skip laws in O(n + |Q|²) memory, via counted cohorts of scheduled
+//! identities.
+//!
+//! [`RoundSim`](crate::RoundSim) keeps three dense pair sets (≈ `13n²`
+//! bytes), which caps round-denominated statistics near n ≈ 6 000 under
+//! the default budget. This engine lifts its A/B/U partition to
+//! [`BucketSim`](crate::BucketSim)-style state-bucket counting so the same
+//! execution law fits in O(n + |Q|²): nodes untouched this round are
+//! grouped by their round-start class, pairs of untouched nodes exist only
+//! as bucket-size products, and the identities the dense engine resolves
+//! eagerly are kept as *counted cohorts* resolved on demand.
+//!
+//! # The counted-superset accounting
+//!
+//! A ShuffledRounds round is a uniform permutation of the `m = n(n−1)/2`
+//! unordered pairs. Mid-round the engine must answer two queries exactly:
+//! how many unscheduled candidates remain (`k`, the hits side of the
+//! [`hypergeometric_skip`] law), and — when skips consume `t` unscheduled
+//! non-candidates — *which* pairs were consumed, because a rejected or
+//! skipped pair cannot recur until the next round. The dense engine
+//! answers with per-pair bits; this engine answers with five strata:
+//!
+//! 1. **Bulk**: pairs of untouched nodes whose round-start class pair is a
+//!    candidate on an inactive link. Counted as bucket products
+//!    (`Σ c_q·c_q′`); never consumed by skips (skips take non-candidates
+//!    only), so every bulk pair is an unscheduled candidate.
+//! 2. **Urns**: when a node `t` is first touched, its pairs with the
+//!    still-untouched nodes of each class `q` become one *urn* — a cohort
+//!    with frozen membership, tracked as counts `(cnt, unc)` of members
+//!    and unscheduled members. Candidate-class urns split off the bulk
+//!    with `unc = cnt`; others split off the pool by one
+//!    [`hypergeometric_count_large`] draw.
+//! 3. **The pool**: pairs untracked by any of the above (non-candidate
+//!    class products and pairs incident to dead nodes), as global counts.
+//! 4. **Explicit pairs**: every active edge and every pair of touched
+//!    nodes that is (or once was) individually resolved, with exact
+//!    scheduled/candidate flags — the analog of the dense engine's
+//!    resolved sets, O(touched + edges) of them.
+//! 5. **The ledger**: a skip batch of `t` draws splits between the
+//!    explicit non-candidates and the anonymous mass by one
+//!    hypergeometric count; the anonymous share is recorded as a ledger
+//!    entry `(u_rem, h_rem)` instead of being attributed to individual
+//!    urns. When a cohort later *needs* its exact unscheduled count (its
+//!    candidacy flips, or a member is resolved individually), it replays
+//!    the entries since its cursor, drawing its share of each batch by
+//!    sequential multivariate-hypergeometric conditioning.
+//!
+//! Unscheduled-candidate availability is then
+//! `k = bulk + Σ_cand-urns unc + |explicit cand unscheduled|`, and every
+//! draw — skip counts, stratum choice, member materialization, urn
+//! resolution — has exactly the conditional law of the uniform permutation
+//! given the history, so the engine is **distribution-identical** to
+//! [`Simulation`](crate::Simulation) under
+//! [`ShuffledRounds`](crate::ShuffledRounds) and to
+//! [`RoundSim`](crate::RoundSim), up to f64 rounding of the inversion
+//! draws. Three invariants carry the argument:
+//!
+//! - **Clean candidate urns**: a candidate urn's membership is exactly
+//!   the untouched nodes of its class (`cnt = |ubucket|`) — members are
+//!   extracted eagerly the moment they are touched — so drawing a uniform
+//!   *member* and decrementing both counts has the law of drawing a
+//!   uniform *unscheduled* member (the scheduled subset is uniform and
+//!   exchangeable, so the drawn member's marginal is uniform either way).
+//! - **Touched pairs are explicit when they matter**: a pair of touched
+//!   nodes enters the explicit set the moment it becomes a candidate (the
+//!   touched-bucket scan after every class change), so stale urn members
+//!   are always non-candidates and counted correctly.
+//! - **Conservation**: `bulk + Σ unc + |explicit unscheduled| +
+//!   anonymous-unscheduled = m − steps mod m`
+//!   ([`pool_invariant_holds`](RoundBucketSim::pool_invariant_holds)),
+//!   preserved by every draw, touch, flip, and fault event.
+//!
+//! Fault events ride the same machinery as the other engines: the draw
+//! space stays frozen at the capacity, crashes only reclassify (dead
+//! pairs keep consuming their round occurrences as non-candidates), and
+//! arrivals join as fresh cohorts sourced from the pool. The
+//! `fault_bookkeeping` proptests in `tests/engine_equivalence.rs` check
+//! the candidate counts against brute force after adversarial histories.
+//!
+//! Memory: O(n) round bookkeeping plus O(touched · |Q|) urn counts and
+//! O(touched + edges) explicit pairs, all reset each round — no Θ(n²)
+//! structure anywhere. [`Engine::auto_for`](crate::Engine::auto_for)
+//! routes ShuffledRounds requests here when
+//! [`RoundSim::dense_mem_estimate`](crate::RoundSim::dense_mem_estimate)
+//! exceeds the budget; `docs/engines.md` has the five-engine table.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::bucket::SparsePop;
+use crate::compiled::{EffectTable, EnumerableMachine};
+use crate::engine::{hypergeometric_count_large, hypergeometric_skip, unit_open01, Bookkeeping};
+use crate::event::EventStep;
+use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
+use crate::sim::{RunOutcome, StepResult};
+use crate::{Link, Population};
+
+/// Monomorphic indexed-interaction entry point captured from
+/// [`EnumerableMachine::interact_indexed`] at construction.
+type InteractFn<M> = fn(&M, usize, usize, Link, &mut SmallRng) -> Option<(usize, usize, Link)>;
+
+/// Canonical key of an unordered node pair (min in the high half).
+#[inline]
+fn pkey(a: usize, b: usize) -> u64 {
+    ((a.min(b) as u64) << 32) | a.max(b) as u64
+}
+
+/// Inverse of [`pkey`].
+#[inline]
+fn punpack(key: u64) -> (usize, usize) {
+    ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize)
+}
+
+/// Key of the urn owned by touched node `t` over round-start class `q`.
+#[inline]
+fn ukey(t: usize, q: usize) -> u64 {
+    ((t as u64) << 16) | q as u64
+}
+
+/// An explicit (individually resolved) pair.
+#[derive(Debug, Clone, Copy)]
+struct XPair {
+    /// Whether the pair's round occurrence has been consumed.
+    sched: bool,
+    /// Whether the pair is currently a candidate (states + link admit an
+    /// effective transition between two alive nodes).
+    cand: bool,
+    /// Position in `x_c_u`/`x_nc_u` (valid only while unscheduled).
+    pos: u32,
+}
+
+/// A frozen-membership cohort: the pairs `(t, w)` between one touched
+/// owner `t` and the nodes of one round-start class `q` that were still
+/// untouched when `t` was touched.
+#[derive(Debug, Clone, Copy)]
+struct Urn {
+    /// Members still anonymous (neither explicit nor drawn).
+    cnt: u64,
+    /// Unscheduled members among `cnt` — exact for candidate urns, debt
+    /// pending since `cursor` for non-candidate ones.
+    unc: u64,
+    /// First ledger entry not yet resolved against this cohort.
+    cursor: u32,
+    /// First `touch_log[q]` entry not yet purged out of this urn.
+    purge_cursor: u32,
+    /// Whether the members are candidates (owner alive and
+    /// `can_affect(state(t), q, Off)`). Candidate urns are *clean*:
+    /// `cnt = |ubucket[q]|`, no pending debt.
+    cand: bool,
+    /// Position in `cand_urns_by_class[q]` while `cand`.
+    cpos: u32,
+}
+
+/// One skip batch's anonymous share: of `u_rem` anonymous unscheduled
+/// pairs at batch time, `h_rem` were scheduled — both decremented as
+/// cohorts resolve their shares out of the entry.
+#[derive(Debug, Clone, Copy)]
+struct LogEntry {
+    u_rem: u64,
+    h_rem: u64,
+}
+
+/// An event-driven execution of a machine on a population under the
+/// [`ShuffledRounds`](crate::ShuffledRounds) scheduler in sparse memory.
+///
+/// Mirrors the [`RoundSim`](crate::RoundSim) API — same [`advance`]
+/// contract, same run loops, same round-denominated accessors — but
+/// predicates read a [`SparsePop`] view like
+/// [`BucketSim`](crate::BucketSim)'s, and nothing Θ(n²) is ever
+/// allocated. See the [module docs](self) for the exactness argument.
+///
+/// [`advance`]: Self::advance
+///
+/// # Example
+///
+/// ```
+/// use netcon_core::{Link, ProtocolBuilder, RoundBucketSim};
+///
+/// let mut b = ProtocolBuilder::new("matching");
+/// let a = b.state("a");
+/// let m = b.state("b");
+/// b.rule((a, a, Link::Off), (m, m, Link::On));
+/// let protocol = b.build()?.compile();
+///
+/// // 100k nodes allocate O(n), not the dense engine's ≈ 130 GB.
+/// let mut sim = RoundBucketSim::new(protocol, 100_000, 1);
+/// let out = sim.run_until_edges(|sp| sp.active_count() == 50_000, u64::MAX);
+/// assert!(out.stabilized());
+/// // Every pair occurs once per round, so the matching completes in
+/// // round 1.
+/// assert_eq!(sim.last_output_change_round(), 1);
+/// # Ok::<(), netcon_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundBucketSim<M: EnumerableMachine> {
+    machine: M,
+    sp: SparsePop,
+    rng: SmallRng,
+    book: Bookkeeping,
+    table: EffectTable,
+    interact: InteractFn<M>,
+    state_at: fn(&M, usize) -> M::State,
+    /// Unordered class pairs `(q1 ≤ q2)` with `can_affect(q1, q2, Off)` —
+    /// the bulk strata, fixed at construction.
+    sup_pairs: Vec<(u16, u16)>,
+    /// Number of machine states (bucket vector length).
+    nq: usize,
+    /// Pairs per round, `capacity·(capacity−1)/2`.
+    m: u64,
+    faults: Option<FaultState>,
+    /// Engine-side liveness mirror (`FaultState` tracks the plan's view).
+    alive: Vec<bool>,
+    // ---- per-round state, rebuilt by `start_round` ----
+    /// Round-start class of every node.
+    rs_class: Vec<u16>,
+    /// Whether the node has been touched this round (dead nodes are
+    /// born touched).
+    touched: Vec<bool>,
+    /// Whether the node was dead at round start (stays set on arrival —
+    /// the pair locator routes around it).
+    reset_dead: Vec<bool>,
+    /// Touch sequence number (0 = untouched); the earlier-touched
+    /// endpoint of a pair owns the urn that holds it.
+    tseq: Vec<u32>,
+    seq_next: u32,
+    /// Untouched alive nodes per round-start class.
+    ubuckets: Vec<Vec<u32>>,
+    upos: Vec<u32>,
+    /// Touched alive nodes per *current* class.
+    tbuckets: Vec<Vec<u32>>,
+    tpos: Vec<u32>,
+    /// Touch order per round-start class (arrivals excluded — they were
+    /// never urn members).
+    touch_log: Vec<Vec<u32>>,
+    /// Explicit pairs by canonical key.
+    x: HashMap<u64, XPair>,
+    /// Unscheduled explicit candidates (keys; positions mirrored).
+    x_c_u: Vec<u64>,
+    /// Unscheduled explicit non-candidates.
+    x_nc_u: Vec<u64>,
+    /// Explicit partners per node (for reclassification on class change).
+    x_by_node: Vec<Vec<u32>>,
+    /// Scheduled explicit pairs that are currently candidates.
+    x_sched_cand: u64,
+    /// Urns by [`ukey`].
+    urns: HashMap<u64, Urn>,
+    /// Candidate urns grouped by member class (walked to draw).
+    cand_urns_by_class: Vec<Vec<u64>>,
+    /// Σ `unc` over candidate urns.
+    rows_avail: u64,
+    /// Σ `cnt − unc` over candidate urns (scheduled but still effective).
+    cand_sched_urns: u64,
+    /// Anonymous pool: members and unscheduled members (debt pending
+    /// since `pool_cursor`).
+    pool_cnt: u64,
+    pool_unc: u64,
+    pool_cursor: u32,
+    /// Total anonymous non-candidate unscheduled pairs (pool + NC urns),
+    /// maintained eagerly — the authoritative count the skip batches
+    /// consume from.
+    anon_nc_unc: u64,
+    /// Whether the current round was entered by a quiescent landing: all
+    /// `m` pairs were re-anchored in the anonymous pool (a uniform
+    /// scheduled prefix spans *every* pair under quiescence), so urns
+    /// frozen this round must split off the pool, never the bulk.
+    pool_round: bool,
+    /// Skip-batch ledger (see [`LogEntry`]).
+    log: Vec<LogEntry>,
+}
+
+impl<M: EnumerableMachine> RoundBucketSim<M> {
+    /// Creates a sparse ShuffledRounds simulation of `machine` on `n`
+    /// nodes in the initial configuration, reproducible from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `n > 2³¹` (node ids are `u32`), the machine has
+    /// more than 65536 states (class ids are `u16`), or the machine's
+    /// `can_affect` is not symmetric in its node arguments (a
+    /// [`Machine`](crate::Machine) contract violation; the scheduler
+    /// presents pairs in a fixed node order).
+    #[must_use]
+    pub fn new(machine: M, n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        assert!(n <= 1 << 31, "RoundBucketSim packs node ids into u32");
+        let num_states = machine.num_states();
+        assert!(
+            num_states <= usize::from(u16::MAX) + 1,
+            "RoundBucketSim's dense class index is u16: more than 65536 states"
+        );
+        let initial = machine.state_index(&machine.initial_state());
+        let sp = SparsePop::new(n, num_states, initial);
+        Self::from_sparse(machine, sp, seed)
+    }
+
+    /// Creates a sparse round simulation from an explicit dense
+    /// configuration (one scan of its active edges).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    #[must_use]
+    pub fn from_population(machine: M, pop: Population<M::State>, seed: u64) -> Self {
+        let n = pop.n();
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        assert!(n <= 1 << 31, "RoundBucketSim packs node ids into u32");
+        let num_states = machine.num_states();
+        assert!(
+            num_states <= usize::from(u16::MAX) + 1,
+            "RoundBucketSim's dense class index is u16: more than 65536 states"
+        );
+        let mut sp = SparsePop::new(n, num_states, machine.state_index(pop.state(0)));
+        for u in 0..n {
+            sp.set_state_index(u, machine.state_index(pop.state(u)));
+        }
+        for (u, v) in pop.edges().active_edges() {
+            sp.set_edge(u, v, true);
+        }
+        Self::from_sparse(machine, sp, seed)
+    }
+
+    /// Creates a faulted sparse round simulation: `n` live nodes plus one
+    /// *ghost* slot per planned arrival, sharing the fault semantics of
+    /// [`RoundSim::new_faulted`](crate::RoundSim::new_faulted) — the
+    /// round length is fixed at `capacity·(capacity−1)/2` and ghost pairs
+    /// sit in the anonymous pool, so every skip law and round statistic
+    /// matches the other engines under the identical [`FaultPlan`].
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new) (with the capacity in place of `n`).
+    #[must_use]
+    pub fn new_faulted(machine: M, n: usize, seed: u64, plan: FaultPlan) -> Self {
+        assert!(n >= 2, "pairwise interactions need at least 2 processes");
+        let fs = FaultState::new(plan, n);
+        let mut sim = Self::new(machine, fs.capacity(), seed);
+        for ghost in n..fs.capacity() {
+            sim.alive[ghost] = false;
+            sim.sp.bucket_remove(ghost);
+        }
+        sim.start_round(0);
+        sim.faults = Some(fs);
+        sim
+    }
+
+    fn from_sparse(machine: M, sp: SparsePop, seed: u64) -> Self {
+        let table = machine.effect_table();
+        assert!(
+            table.is_symmetric(),
+            "RoundBucketSim requires can_affect to be symmetric in its node arguments"
+        );
+        let nq = table.size();
+        let mut sup_pairs = Vec::new();
+        for q1 in 0..nq {
+            for q2 in q1..nq {
+                if table.can_affect(q1, q2, Link::Off) {
+                    sup_pairs.push((q1 as u16, q2 as u16));
+                }
+            }
+        }
+        let n = sp.n();
+        let m = (n as u64) * (n as u64 - 1) / 2;
+        let mut sim = Self {
+            machine,
+            sp,
+            rng: SmallRng::seed_from_u64(seed),
+            book: Bookkeeping::default(),
+            table,
+            interact: |m: &M, a, b, link, rng: &mut SmallRng| m.interact_indexed(a, b, link, rng),
+            state_at: |m: &M, i: usize| m.state_at(i),
+            sup_pairs,
+            nq,
+            m,
+            faults: None,
+            alive: vec![true; n],
+            rs_class: vec![0; n],
+            touched: vec![false; n],
+            reset_dead: vec![false; n],
+            tseq: vec![0; n],
+            seq_next: 1,
+            ubuckets: vec![Vec::new(); nq],
+            upos: vec![0; n],
+            tbuckets: vec![Vec::new(); nq],
+            tpos: vec![0; n],
+            touch_log: vec![Vec::new(); nq],
+            x: HashMap::new(),
+            x_c_u: Vec::new(),
+            x_nc_u: Vec::new(),
+            x_by_node: vec![Vec::new(); n],
+            x_sched_cand: 0,
+            urns: HashMap::new(),
+            cand_urns_by_class: vec![Vec::new(); nq],
+            rows_avail: 0,
+            cand_sched_urns: 0,
+            pool_cnt: 0,
+            pool_unc: 0,
+            pool_cursor: 0,
+            anon_nc_unc: 0,
+            pool_round: false,
+            log: Vec::new(),
+        };
+        sim.start_round(0);
+        sim
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn view(&self) -> &SparsePop {
+        &self.sp
+    }
+
+    /// The machine being executed.
+    #[must_use]
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// The fault state, if this engine was built with a [`FaultPlan`].
+    #[must_use]
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Steps taken so far (including skipped ineffective draws).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.book.steps
+    }
+
+    /// Effective interactions so far.
+    #[must_use]
+    pub fn effective_steps(&self) -> u64 {
+        self.book.effective_steps
+    }
+
+    /// Edge activations/deactivations so far.
+    #[must_use]
+    pub fn edge_events(&self) -> u64 {
+        self.book.edge_events
+    }
+
+    /// The step of the most recent edge change (0 if none yet).
+    #[must_use]
+    pub fn last_output_change(&self) -> u64 {
+        self.book.last_output_change
+    }
+
+    /// The step of the most recent effective interaction (0 if none yet).
+    #[must_use]
+    pub fn last_effective(&self) -> u64 {
+        self.book.last_effective
+    }
+
+    /// The number of scheduler draws in one round: every unordered pair
+    /// exactly once, `capacity·(capacity−1)/2`.
+    #[must_use]
+    pub fn pairs_per_round(&self) -> u64 {
+        self.m
+    }
+
+    /// Rounds completed so far, `steps / pairs_per_round()`.
+    #[must_use]
+    pub fn rounds_completed(&self) -> u64 {
+        self.book.steps / self.m
+    }
+
+    /// The 1-based round containing draw `step` (0 for `step = 0`).
+    #[must_use]
+    pub fn round_of(&self, step: u64) -> u64 {
+        step.div_ceil(self.m)
+    }
+
+    /// The round of the most recent edge change — `converged_at` in
+    /// rounds once a run stabilizes (0 if no edge ever changed).
+    #[must_use]
+    pub fn last_output_change_round(&self) -> u64 {
+        self.round_of(self.book.last_output_change)
+    }
+
+    /// The round of the most recent effective interaction (0 if none).
+    #[must_use]
+    pub fn last_effective_round(&self) -> u64 {
+        self.round_of(self.book.last_effective)
+    }
+
+    /// The number of currently effective pairs, scheduled or not —
+    /// exact, unlike [`BucketSim`](crate::BucketSim)'s counted superset.
+    #[must_use]
+    pub fn effective_pairs(&self) -> u64 {
+        self.avail() + self.x_sched_cand + self.cand_sched_urns
+    }
+
+    /// The number of effective pairs not yet scheduled this round — the
+    /// `hits` side of the next hypergeometric skip.
+    #[must_use]
+    pub fn unscheduled_candidates(&self) -> u64 {
+        self.avail()
+    }
+
+    /// Whether no pair of nodes has any effective interaction — O(|Q|²):
+    /// every stratum's candidate count is zero. Quiescence is
+    /// scheduler-independent, so this is the same predicate as
+    /// [`RoundSim::is_quiescent`](crate::RoundSim::is_quiescent).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.avail() == 0 && self.x_sched_cand == 0 && self.cand_sched_urns == 0
+    }
+
+    /// Whether the round partition accounts for every unscheduled pair:
+    /// `bulk + Σ cand-urn unc + |explicit unscheduled| + anonymous
+    /// unscheduled = m − steps mod m`. Every draw and fault event must
+    /// preserve this; the mutation-bookkeeping proptests check it after
+    /// every event.
+    #[must_use]
+    pub fn pool_invariant_holds(&self) -> bool {
+        self.bulk_total()
+            + self.rows_avail
+            + self.x_c_u.len() as u64
+            + self.x_nc_u.len() as u64
+            + self.anon_nc_unc
+            == self.m - self.book.steps % self.m
+    }
+
+    /// Materializes the dense configuration — Θ(n²) bits for the edge
+    /// set; for inspection and small-n testing only.
+    #[must_use]
+    pub fn to_population(&self) -> Population<M::State> {
+        let states = (0..self.sp.n())
+            .map(|u| (self.state_at)(&self.machine, self.sp.state_index(u)))
+            .collect();
+        Population::from_parts(states, self.sp.to_edgeset())
+    }
+
+    /// Bytes of heap memory held by the engine: the sparse configuration,
+    /// the per-round bucket vectors, the explicit-pair and urn maps, and
+    /// the effect table — O(n + |Q|² + touched), against the dense round
+    /// engine's ≈ `13n²`.
+    #[must_use]
+    pub fn approx_mem_bytes(&self) -> u64 {
+        let vecs = |vs: &Vec<Vec<u32>>| -> u64 {
+            vs.iter().map(|v| v.capacity() as u64 * 4).sum::<u64>() + vs.capacity() as u64 * 24
+        };
+        self.sp.approx_mem_bytes()
+            + self.table.approx_mem_bytes()
+            + (self.sup_pairs.capacity() * 4) as u64
+            + (self.alive.capacity()
+                + self.touched.capacity()
+                + self.reset_dead.capacity()
+                + self.rs_class.capacity() * 2
+                + self.tseq.capacity() * 4
+                + self.upos.capacity() * 4
+                + self.tpos.capacity() * 4) as u64
+            + vecs(&self.ubuckets)
+            + vecs(&self.tbuckets)
+            + vecs(&self.touch_log)
+            + vecs(&self.x_by_node)
+            + (self.x.capacity() * 24) as u64
+            + ((self.x_c_u.capacity() + self.x_nc_u.capacity()) * 8) as u64
+            + (self.urns.capacity() * 48) as u64
+            + self
+                .cand_urns_by_class
+                .iter()
+                .map(|v| v.capacity() as u64 * 8 + 24)
+                .sum::<u64>()
+            + (self.log.capacity() * 16) as u64
+    }
+
+    /// One uniform draw on `(0, 1]` from the engine's coin stream.
+    #[inline]
+    fn u01(&mut self) -> f64 {
+        unit_open01(self.rng.next_u64())
+    }
+
+    /// Unscheduled bulk pairs: Σ over candidate class pairs of the
+    /// untouched-bucket products — O(|Q|²) worst case, O(|sup_pairs|)
+    /// always.
+    fn bulk_total(&self) -> u64 {
+        let mut total = 0u64;
+        for &(q1, q2) in &self.sup_pairs {
+            let c1 = self.ubuckets[usize::from(q1)].len() as u64;
+            total += if q1 == q2 {
+                c1 * c1.saturating_sub(1) / 2
+            } else {
+                c1 * self.ubuckets[usize::from(q2)].len() as u64
+            };
+        }
+        total
+    }
+
+    /// Unscheduled candidates across all strata — the `hits` side of the
+    /// skip law.
+    fn avail(&self) -> u64 {
+        self.bulk_total() + self.rows_avail + self.x_c_u.len() as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round bookkeeping: touches, urns, the ledger, and explicit pairs.
+// ---------------------------------------------------------------------
+impl<M: EnumerableMachine> RoundBucketSim<M> {
+    /// Rebuilds the round partition at a round boundary. `pre_scheduled`
+    /// is nonzero only when landing a quiescent jump mid-round: that many
+    /// pool pairs are already consumed (a uniform subset — exact, because
+    /// under quiescence no draw is effective and the bulk is empty, so
+    /// the landed round's history is exchangeable).
+    fn start_round(&mut self, pre_scheduled: u64) {
+        for q in 0..self.nq {
+            self.ubuckets[q].clear();
+            self.tbuckets[q].clear();
+            self.touch_log[q].clear();
+            self.cand_urns_by_class[q].clear();
+        }
+        self.urns.clear();
+        self.log.clear();
+        for &key in self.x.keys() {
+            let (a, b) = punpack(key);
+            self.x_by_node[a].clear();
+            self.x_by_node[b].clear();
+        }
+        self.x.clear();
+        self.x_c_u.clear();
+        self.x_nc_u.clear();
+        self.x_sched_cand = 0;
+        self.rows_avail = 0;
+        self.cand_sched_urns = 0;
+        self.seq_next = 1;
+        let n = self.sp.n();
+        for u in 0..n {
+            self.rs_class[u] = self.sp.state_index(u) as u16;
+            self.touched[u] = !self.alive[u];
+            self.reset_dead[u] = !self.alive[u];
+            self.tseq[u] = 0;
+            if self.alive[u] {
+                let q = usize::from(self.rs_class[u]);
+                self.upos[u] = self.ubuckets[q].len() as u32;
+                self.ubuckets[q].push(u as u32);
+            }
+        }
+        // A quiescent landing re-anchors every pair in the anonymous
+        // pool: under quiescence every pair is certainly ineffective —
+        // including active edges whose *class* pair is Off-effective (a
+        // stable FT-star's spokes) — so the elapsed prefix is a uniform
+        // subset of all `m` pairs, and the bulk strata (which assume
+        // never-skip-consumed pairs) must stay out of play for the whole
+        // landed round.
+        self.pool_round = pre_scheduled > 0;
+        if self.pool_round {
+            self.pool_cnt = self.m;
+        } else {
+            self.pool_cnt = self.m - self.bulk_total();
+        }
+        self.pool_unc = self.pool_cnt - pre_scheduled;
+        self.pool_cursor = 0;
+        self.anon_nc_unc = self.pool_unc;
+        // Active edges become explicit pairs, in canonical ascending
+        // order. At a plain reset every pull takes a fast path (nothing
+        // is scheduled yet), so this consumes no coins; at a quiescent
+        // landing the pulls draw each pair's scheduled status from the
+        // pool marginals.
+        for u in 0..n {
+            let mut nbrs: Vec<usize> = self.sp.neighbors(u).filter(|&w| w > u).collect();
+            if nbrs.is_empty() {
+                continue;
+            }
+            nbrs.sort_unstable();
+            for w in nbrs {
+                self.ensure_touched(u);
+                self.ensure_touched(w);
+                // When the owner's urn over w's class is a candidate urn
+                // (the edge spans an Off-link-effective class pair),
+                // touching w already extracted this pair eagerly.
+                if self.x.contains_key(&pkey(u, w)) {
+                    continue;
+                }
+                let unsched = self.locate_and_pull(u, w);
+                self.insert_explicit(u, w, !unsched);
+            }
+        }
+        debug_assert!(self.pool_invariant_holds());
+        // A quiescent landing must leave the engine quiescent: every
+        // extracted pair is ineffective and no candidate member can
+        // survive the extraction loop (an untouched candidate would be a
+        // genuinely effective pair, contradicting quiescence).
+        debug_assert!(pre_scheduled == 0 || self.is_quiescent());
+    }
+
+    /// Inserts `u` into the touched bucket of class `q`.
+    fn tbucket_insert(&mut self, u: usize, q: usize) {
+        self.tpos[u] = self.tbuckets[q].len() as u32;
+        self.tbuckets[q].push(u as u32);
+    }
+
+    /// Removes `u` from the touched bucket of class `q`.
+    fn tbucket_remove(&mut self, u: usize, q: usize) {
+        let pos = self.tpos[u] as usize;
+        debug_assert_eq!(self.tbuckets[q][pos] as usize, u);
+        self.tbuckets[q].swap_remove(pos);
+        if pos < self.tbuckets[q].len() {
+            let moved = self.tbuckets[q][pos] as usize;
+            self.tpos[moved] = pos as u32;
+        }
+    }
+
+    /// First half of a touch: stamps the sequence number, moves `u` out
+    /// of its untouched bucket (shrinking every open urn's frozen-member
+    /// view *before* any new pair is materialized), logs the touch for
+    /// later non-candidate purges, and joins the touched buckets.
+    fn pre_mark(&mut self, u: usize) {
+        debug_assert!(!self.touched[u] && self.alive[u]);
+        self.touched[u] = true;
+        self.tseq[u] = self.seq_next;
+        self.seq_next += 1;
+        let q = usize::from(self.rs_class[u]);
+        let pos = self.upos[u] as usize;
+        debug_assert_eq!(self.ubuckets[q][pos] as usize, u);
+        self.ubuckets[q].swap_remove(pos);
+        if pos < self.ubuckets[q].len() {
+            let moved = self.ubuckets[q][pos] as usize;
+            self.upos[moved] = pos as u32;
+        }
+        self.touch_log[q].push(u as u32);
+        self.tbucket_insert(u, q);
+    }
+
+    /// Second half of a touch: eagerly extracts `u` out of every
+    /// candidate urn over `u`'s class (keeping candidate urns *clean*),
+    /// then freezes `u`'s own urns — one per nonempty untouched class.
+    fn finish_touch(&mut self, u: usize) {
+        let q = usize::from(self.rs_class[u]);
+        let keys: Vec<u64> = self.cand_urns_by_class[q].clone();
+        for key in keys {
+            let t = (key >> 16) as usize;
+            if self.x.contains_key(&pkey(t, u)) {
+                continue;
+            }
+            let unsched = self.cand_urn_pull(key);
+            self.insert_explicit(t, u, !unsched);
+        }
+        for q2 in 0..self.nq {
+            let k = self.ubuckets[q2].len() as u64;
+            if k > 0 {
+                self.make_urn(u, q2, k, self.pool_round);
+            }
+        }
+    }
+
+    /// Touches `u` if it is still untouched.
+    fn ensure_touched(&mut self, u: usize) {
+        if !self.touched[u] {
+            self.pre_mark(u);
+            self.finish_touch(u);
+        }
+    }
+
+    /// Freezes the urn `(t, q)` over the `k` current members of
+    /// `ubuckets[q]`. Candidate-class cohorts (by *round-start* class of
+    /// `t`) split off the bulk fully unscheduled — bulk pairs are never
+    /// skip-consumed; everything else splits off the pool by one
+    /// hypergeometric count. `force_pool` is set for arrivals, whose
+    /// pairs were all pool (dead-incident) regardless of class.
+    fn make_urn(&mut self, t: usize, q: usize, k: u64, force_pool: bool) {
+        let sup = !force_pool
+            && self
+                .table
+                .can_affect(usize::from(self.rs_class[t]), q, Link::Off);
+        let (cnt, unc) = if sup {
+            (k, k)
+        } else {
+            self.resolve_pool();
+            debug_assert!(k <= self.pool_cnt);
+            let h = if self.pool_unc == self.pool_cnt {
+                k
+            } else {
+                let u = self.u01();
+                hypergeometric_count_large(u, self.pool_unc, self.pool_cnt, k)
+            };
+            self.pool_cnt -= k;
+            self.pool_unc -= h;
+            (k, h)
+        };
+        let cand = self.alive[t] && self.table.can_affect(self.sp.state_index(t), q, Link::Off);
+        let mut urn = Urn {
+            cnt,
+            unc,
+            cursor: self.log.len() as u32,
+            purge_cursor: self.touch_log[q].len() as u32,
+            cand,
+            cpos: 0,
+        };
+        if cand {
+            if !sup {
+                // Pool pairs leave the anonymous-NC stratum on promotion.
+                debug_assert!(self.anon_nc_unc >= unc);
+                self.anon_nc_unc -= unc;
+            }
+            self.rows_avail += unc;
+            self.cand_sched_urns += cnt - unc;
+            urn.cpos = self.cand_urns_by_class[q].len() as u32;
+            self.cand_urns_by_class[q].push(ukey(t, q));
+        } else if sup {
+            // Bulk pairs entering a non-candidate cohort join the
+            // anonymous-NC stratum (a state change between pre_mark and
+            // urn creation; normally unreachable).
+            self.anon_nc_unc += unc;
+        }
+        let prev = self.urns.insert(ukey(t, q), urn);
+        debug_assert!(prev.is_none());
+    }
+
+    /// Consumes `t` skipped occurrences: splits them between the explicit
+    /// non-candidates (resolved pair by pair) and the anonymous mass
+    /// (recorded as one ledger batch).
+    fn schedule_skips(&mut self, t: u64) {
+        if t == 0 {
+            return;
+        }
+        let bx = self.x_nc_u.len() as u64;
+        debug_assert!(t <= bx + self.anon_nc_unc);
+        let from_x = if bx == 0 {
+            0
+        } else if t == bx + self.anon_nc_unc {
+            bx
+        } else {
+            let u = self.u01();
+            hypergeometric_count_large(u, bx, bx + self.anon_nc_unc, t)
+        };
+        for _ in 0..from_x {
+            let i = self.rng.random_range(0..self.x_nc_u.len());
+            let key = self.x_list_remove(false, i);
+            self.x.get_mut(&key).unwrap().sched = true;
+        }
+        let h = t - from_x;
+        if h > 0 {
+            self.log.push(LogEntry {
+                u_rem: self.anon_nc_unc,
+                h_rem: h,
+            });
+            self.anon_nc_unc -= h;
+        }
+    }
+
+    /// Brings a non-candidate cohort's unscheduled count up to date by
+    /// drawing its share of every ledger batch since its cursor —
+    /// sequential multivariate-hypergeometric conditioning: each batch of
+    /// `h_rem` scheduled among `u_rem` anonymous unscheduled splits
+    /// hypergeometrically between this cohort's `unc` and the rest.
+    fn resolve_urn(&mut self, key: u64) {
+        let urn = self.urns.get(&key).expect("cohort exists");
+        debug_assert!(!urn.cand);
+        let from = urn.cursor as usize;
+        if from == self.log.len() {
+            return;
+        }
+        let unc = urn.unc;
+        let new_unc = resolve_cohort(&mut self.rng, &mut self.log, from, unc);
+        let urn = self.urns.get_mut(&key).unwrap();
+        urn.unc = new_unc;
+        urn.cursor = self.log.len() as u32;
+    }
+
+    /// As [`resolve_urn`](Self::resolve_urn), for the pool cohort.
+    fn resolve_pool(&mut self) {
+        let from = self.pool_cursor as usize;
+        if from == self.log.len() {
+            return;
+        }
+        self.pool_unc = resolve_cohort(&mut self.rng, &mut self.log, from, self.pool_unc);
+        self.pool_cursor = self.log.len() as u32;
+    }
+
+    /// Draws one member out of a *candidate* urn and reports whether it
+    /// was unscheduled. Clean urns have no ledger debt, so the split is a
+    /// single uniform index against `(unc, cnt)`.
+    fn cand_urn_pull(&mut self, key: u64) -> bool {
+        let urn = self.urns.get_mut(&key).expect("cohort exists");
+        debug_assert!(urn.cand && urn.cnt > 0);
+        let unsched = urn.unc == urn.cnt || self.rng.random_range(0..urn.cnt) < urn.unc;
+        urn.cnt -= 1;
+        if unsched {
+            urn.unc -= 1;
+            self.rows_avail -= 1;
+        } else {
+            self.cand_sched_urns -= 1;
+        }
+        unsched
+    }
+
+    /// Extracts every touched member still counted inside a
+    /// *non-candidate* cohort (they were left stale while the cohort was
+    /// NC — safe, because NC members cannot be drawn — but must become
+    /// explicit before the cohort turns candidate again). The cohort's
+    /// ledger debt must already be resolved.
+    fn purge_urn(&mut self, key: u64) {
+        let t = (key >> 16) as usize;
+        let q = (key & 0xFFFF) as usize;
+        let urn = self.urns.get(&key).expect("cohort exists");
+        debug_assert!(!urn.cand && urn.cursor as usize == self.log.len());
+        let from = urn.purge_cursor as usize;
+        let snapshot: Vec<u32> = self.touch_log[q][from..].to_vec();
+        self.urns.get_mut(&key).unwrap().purge_cursor = self.touch_log[q].len() as u32;
+        for w32 in snapshot {
+            let w = w32 as usize;
+            debug_assert_ne!(w, t);
+            if self.x.contains_key(&pkey(t, w)) {
+                continue;
+            }
+            let urn = self.urns.get_mut(&key).unwrap();
+            debug_assert!(urn.cnt > 0);
+            let unsched = urn.unc == urn.cnt || self.rng.random_range(0..urn.cnt) < urn.unc;
+            urn.cnt -= 1;
+            if unsched {
+                urn.unc -= 1;
+                debug_assert!(self.anon_nc_unc > 0);
+                self.anon_nc_unc -= 1;
+            }
+            self.insert_explicit(t, w, !unsched);
+        }
+    }
+
+    /// Resolves one specific pair of touched alive nodes out of whatever
+    /// cohort holds it, reporting whether it was unscheduled. The
+    /// earlier-touched endpoint owns the urn; pairs whose later-touched
+    /// endpoint was dead at round start (arrivals) were never urn members
+    /// and resolve against the pool.
+    fn locate_and_pull(&mut self, a: usize, b: usize) -> bool {
+        debug_assert!(self.touched[a] && self.touched[b] && a != b);
+        debug_assert!(self.tseq[a] >= 1 && self.tseq[b] >= 1);
+        let (own, mem) = if self.tseq[a] < self.tseq[b] {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if self.reset_dead[mem] {
+            return self.pool_pull();
+        }
+        let key = ukey(own, usize::from(self.rs_class[mem]));
+        if self.urns.get(&key).expect("cohort exists").cand {
+            self.cand_urn_pull(key)
+        } else {
+            self.resolve_urn(key);
+            let urn = self.urns.get_mut(&key).unwrap();
+            debug_assert!(urn.cnt > 0);
+            let unsched = urn.unc == urn.cnt || self.rng.random_range(0..urn.cnt) < urn.unc;
+            urn.cnt -= 1;
+            if unsched {
+                urn.unc -= 1;
+                debug_assert!(self.anon_nc_unc > 0);
+                self.anon_nc_unc -= 1;
+            }
+            unsched
+        }
+    }
+
+    /// Resolves one pair out of the anonymous pool.
+    fn pool_pull(&mut self) -> bool {
+        self.resolve_pool();
+        debug_assert!(self.pool_cnt > 0);
+        let unsched = self.pool_unc == self.pool_cnt || self.rng.random_range(0..self.pool_cnt) < self.pool_unc;
+        self.pool_cnt -= 1;
+        if unsched {
+            self.pool_unc -= 1;
+            debug_assert!(self.anon_nc_unc > 0);
+            self.anon_nc_unc -= 1;
+        }
+        unsched
+    }
+}
+
+/// Replays the ledger entries from `from` against one cohort holding
+/// `unc` unscheduled members, returning its updated count. Each entry
+/// recorded `h_rem` scheduled draws out of `u_rem` anonymous unscheduled
+/// pairs; conditioning sequentially, this cohort's share of the batch is
+/// hypergeometric with `unc` marked among `u_rem`, and the entry shrinks
+/// by what this cohort took so later cohorts resolve against the rest.
+fn resolve_cohort(rng: &mut SmallRng, log: &mut [LogEntry], from: usize, mut unc: u64) -> u64 {
+    for e in &mut log[from..] {
+        if unc == 0 {
+            break;
+        }
+        debug_assert!(unc <= e.u_rem);
+        let h = if e.h_rem == 0 {
+            0
+        } else if unc == e.u_rem {
+            e.h_rem
+        } else {
+            hypergeometric_count_large(unit_open01(rng.next_u64()), unc, e.u_rem, e.h_rem)
+        };
+        e.u_rem -= unc;
+        e.h_rem -= h;
+        unc -= h;
+    }
+    unc
+}
+
+// ---------------------------------------------------------------------
+// Explicit pairs and reclassification.
+// ---------------------------------------------------------------------
+impl<M: EnumerableMachine> RoundBucketSim<M> {
+    /// Registers a freshly resolved pair as explicit with the given
+    /// scheduled status. Candidacy is computed from the live states and
+    /// link; both endpoints must already be touched and the pair must not
+    /// be explicit yet.
+    fn insert_explicit(&mut self, a: usize, b: usize, sched: bool) {
+        let (a, b) = (a.min(b), a.max(b));
+        debug_assert!(self.touched[a] && self.touched[b]);
+        let link = Link::from(self.sp.is_active(a, b));
+        let cand = self.alive[a]
+            && self.alive[b]
+            && self
+                .table
+                .can_affect(self.sp.state_index(a), self.sp.state_index(b), link);
+        let mut pos = 0u32;
+        if !sched {
+            let list = if cand { &mut self.x_c_u } else { &mut self.x_nc_u };
+            pos = list.len() as u32;
+            list.push(pkey(a, b));
+        } else if cand {
+            self.x_sched_cand += 1;
+        }
+        let prev = self.x.insert(pkey(a, b), XPair { sched, cand, pos });
+        debug_assert!(prev.is_none(), "pair resolved twice");
+        self.x_by_node[a].push(b as u32);
+        self.x_by_node[b].push(a as u32);
+    }
+
+    /// Swap-removes the entry at `pos` from the unscheduled candidate
+    /// (`cand_list`) or non-candidate list, fixing the moved pair's
+    /// mirrored position. Returns the removed key.
+    fn x_list_remove(&mut self, cand_list: bool, pos: usize) -> u64 {
+        let list = if cand_list { &mut self.x_c_u } else { &mut self.x_nc_u };
+        let key = list.swap_remove(pos);
+        if pos < list.len() {
+            let moved = list[pos];
+            self.x.get_mut(&moved).unwrap().pos = pos as u32;
+        }
+        key
+    }
+
+    /// Re-derives an explicit pair's candidacy after a state, edge, or
+    /// liveness change at either endpoint.
+    fn recompute_x(&mut self, a: usize, b: usize) {
+        let (a, b) = (a.min(b), a.max(b));
+        let key = pkey(a, b);
+        let link = Link::from(self.sp.is_active(a, b));
+        let cand = self.alive[a]
+            && self.alive[b]
+            && self
+                .table
+                .can_affect(self.sp.state_index(a), self.sp.state_index(b), link);
+        let xp = *self.x.get(&key).expect("explicit pair exists");
+        if xp.cand == cand {
+            return;
+        }
+        if xp.sched {
+            self.x.get_mut(&key).unwrap().cand = cand;
+            if cand {
+                self.x_sched_cand += 1;
+            } else {
+                self.x_sched_cand -= 1;
+            }
+        } else {
+            let removed = self.x_list_remove(!cand, xp.pos as usize);
+            debug_assert_eq!(removed, key);
+            let list = if cand { &mut self.x_c_u } else { &mut self.x_nc_u };
+            let npos = list.len() as u32;
+            list.push(key);
+            let e = self.x.get_mut(&key).unwrap();
+            e.cand = cand;
+            e.pos = npos;
+        }
+    }
+
+    /// Swap-removes a promoted-urn list entry, fixing the moved urn's
+    /// mirrored position.
+    fn cand_list_remove(&mut self, q: usize, pos: usize) {
+        self.cand_urns_by_class[q].swap_remove(pos);
+        if pos < self.cand_urns_by_class[q].len() {
+            let moved = self.cand_urns_by_class[q][pos];
+            self.urns.get_mut(&moved).unwrap().cpos = pos as u32;
+        }
+    }
+
+    /// Re-derives the candidacy of every cohort owned by `u` after a
+    /// state or liveness change. Demotions park the cohort's count behind
+    /// a fresh ledger cursor; promotions first settle the ledger debt and
+    /// purge stale touched members, restoring the clean-urn invariant.
+    fn update_urn_flags(&mut self, u: usize) {
+        for q in 0..self.nq {
+            let key = ukey(u, q);
+            let Some(urn) = self.urns.get(&key) else {
+                continue;
+            };
+            let new_cand = self.alive[u] && self.table.can_affect(self.sp.state_index(u), q, Link::Off);
+            if urn.cand == new_cand {
+                continue;
+            }
+            if new_cand {
+                self.resolve_urn(key);
+                self.purge_urn(key);
+                let urn = self.urns.get_mut(&key).unwrap();
+                urn.cand = true;
+                let (cnt, unc) = (urn.cnt, urn.unc);
+                urn.cpos = self.cand_urns_by_class[q].len() as u32;
+                self.cand_urns_by_class[q].push(key);
+                debug_assert!(self.anon_nc_unc >= unc);
+                self.anon_nc_unc -= unc;
+                self.rows_avail += unc;
+                self.cand_sched_urns += cnt - unc;
+            } else {
+                let cursor = self.log.len() as u32;
+                let urn = self.urns.get_mut(&key).unwrap();
+                urn.cand = false;
+                urn.cursor = cursor;
+                let (cnt, unc, cpos) = (urn.cnt, urn.unc, urn.cpos);
+                self.rows_avail -= unc;
+                self.cand_sched_urns -= cnt - unc;
+                self.anon_nc_unc += unc;
+                self.cand_list_remove(q, cpos as usize);
+            }
+        }
+    }
+
+    /// Forces every pair of `u` with a touched node whose current class
+    /// can affect `u`'s to become explicit — touched×touched candidates
+    /// never hide inside cohorts, which keeps stale NC urn members safe.
+    fn tbucket_sup_scan(&mut self, u: usize) {
+        let su = self.sp.state_index(u);
+        for q2 in 0..self.nq {
+            if !self.table.can_affect(su, q2, Link::Off) {
+                continue;
+            }
+            if self.tbuckets[q2].is_empty() {
+                continue;
+            }
+            let members: Vec<u32> = self.tbuckets[q2].clone();
+            for t32 in members {
+                let t = t32 as usize;
+                if t == u || self.x.contains_key(&pkey(t, u)) {
+                    continue;
+                }
+                let unsched = self.locate_and_pull(t, u);
+                self.insert_explicit(t, u, !unsched);
+            }
+        }
+    }
+
+    /// Applies a state transition to a touched alive node: moves its
+    /// touched bucket, re-flags its cohorts and explicit pairs, and pulls
+    /// any newly-candidate touched×touched pairs explicit.
+    fn apply_state_change(&mut self, u: usize, new: usize) {
+        let old = self.sp.state_index(u);
+        if old == new {
+            return;
+        }
+        debug_assert!(self.touched[u] && self.alive[u]);
+        self.tbucket_remove(u, old);
+        self.sp.set_state_index(u, new);
+        self.tbucket_insert(u, new);
+        self.update_urn_flags(u);
+        let partners: Vec<u32> = self.x_by_node[u].clone();
+        for w in partners {
+            self.recompute_x(u, w as usize);
+        }
+        self.tbucket_sup_scan(u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The advance loop.
+// ---------------------------------------------------------------------
+impl<M: EnumerableMachine> RoundBucketSim<M> {
+    /// Runs until the next *candidate* draw and applies it, without
+    /// taking the step count past `max_steps`. Identical contract to
+    /// [`RoundSim::advance`](crate::RoundSim::advance): skipped
+    /// non-candidates consume their round occurrences exactly, and the
+    /// returned [`EventStep`] matches the naive ShuffledRounds loop in
+    /// distribution draw for draw.
+    pub fn advance(&mut self, max_steps: u64) -> EventStep {
+        if self.is_quiescent() {
+            return EventStep::Quiescent;
+        }
+        loop {
+            let remaining_budget = max_steps.saturating_sub(self.book.steps);
+            if remaining_budget == 0 {
+                return EventStep::BudgetExhausted;
+            }
+            let pos = self.book.steps % self.m;
+            let r = self.m - pos;
+            let k = self.avail();
+            if k == 0 {
+                // Every remaining pair this round is scheduled or
+                // ineffective: burn the round out (or stop mid-burn).
+                // When the budget reaches the boundary, take the whole
+                // round without resolving identities — the round reset
+                // would discard them, and drawing them here would
+                // desynchronize the coin stream between a straight run
+                // and one stopped exactly on the boundary.
+                if r <= remaining_budget {
+                    self.book.steps += r;
+                    self.start_round(0);
+                    if self.book.steps == max_steps {
+                        return EventStep::BudgetExhausted;
+                    }
+                    continue;
+                }
+                self.schedule_skips(remaining_budget);
+                self.book.steps = max_steps;
+                return EventStep::BudgetExhausted;
+            }
+            let u = self.u01();
+            let skipped = hypergeometric_skip(u, r, k);
+            if skipped >= remaining_budget {
+                // The next candidate lies beyond the budget; consume the
+                // in-budget skips only. `skipped ≤ r − 1`, so this never
+                // lands exactly on a round boundary.
+                self.schedule_skips(remaining_budget);
+                self.book.steps = max_steps;
+                return EventStep::BudgetExhausted;
+            }
+            self.schedule_skips(skipped);
+            self.book.steps += skipped + 1;
+            return self.apply_candidate(skipped);
+        }
+    }
+
+    /// Draws the candidate uniformly across the three unscheduled-
+    /// candidate strata (bulk products, candidate-urn rows, explicit
+    /// pairs), materializes it, and applies the interaction.
+    fn apply_candidate(&mut self, skipped: u64) -> EventStep {
+        let bulk = self.bulk_total();
+        let k = bulk + self.rows_avail + self.x_c_u.len() as u64;
+        debug_assert!(k > 0);
+        let mut idx = self.rng.random_range(0..k);
+        let (a, b) = if idx < bulk {
+            let (a, b) = self.draw_bulk(idx);
+            // Both endpoints leave the untouched buckets before any urn
+            // freezes or eager extraction runs, so the drawn pair is
+            // claimed exactly once.
+            self.pre_mark(a);
+            self.pre_mark(b);
+            self.insert_explicit(a, b, true);
+            self.finish_touch(a);
+            self.finish_touch(b);
+            (a.min(b), a.max(b))
+        } else {
+            idx -= bulk;
+            if idx < self.rows_avail {
+                let (t, w) = self.draw_urn(idx);
+                self.pre_mark(w);
+                self.insert_explicit(t, w, true);
+                self.finish_touch(w);
+                (t.min(w), t.max(w))
+            } else {
+                let key = self.x_list_remove(true, (idx - self.rows_avail) as usize);
+                self.x.get_mut(&key).unwrap().sched = true;
+                self.x_sched_cand += 1;
+                punpack(key)
+            }
+        };
+        let link = Link::from(self.sp.is_active(a, b));
+        let outcome = (self.interact)(
+            &self.machine,
+            self.sp.state_index(a),
+            self.sp.state_index(b),
+            link,
+            &mut self.rng,
+        );
+        let pair = (a, b);
+        let Some((a2, b2, l2)) = outcome else {
+            if self.book.steps.is_multiple_of(self.m) {
+                self.start_round(0);
+            }
+            debug_assert!(self.pool_invariant_holds());
+            return EventStep::Candidate {
+                skipped,
+                result: StepResult::Ineffective { pair },
+            };
+        };
+        let edge_changed = l2 != link;
+        if edge_changed {
+            self.sp.set_edge(a, b, l2.is_on());
+        }
+        self.book.record_effective(edge_changed);
+        if self.book.steps.is_multiple_of(self.m) {
+            // The candidate landed on the round boundary: apply the
+            // state writes directly and let the reset rebuild everything.
+            self.sp.set_state_index(a, a2);
+            self.sp.set_state_index(b, b2);
+            self.start_round(0);
+        } else {
+            self.apply_state_change(a, a2);
+            self.apply_state_change(b, b2);
+            self.recompute_x(a, b);
+        }
+        debug_assert!(self.pool_invariant_holds());
+        EventStep::Candidate {
+            skipped,
+            result: StepResult::Effective { pair, edge_changed },
+        }
+    }
+
+    /// Materializes bulk candidate number `idx` in sup-pair walk order:
+    /// pick the class-pair stratum by cumulative weight, then uniform
+    /// members within it.
+    fn draw_bulk(&mut self, mut idx: u64) -> (usize, usize) {
+        for pi in 0..self.sup_pairs.len() {
+            let (q1, q2) = self.sup_pairs[pi];
+            let (q1, q2) = (usize::from(q1), usize::from(q2));
+            let c1 = self.ubuckets[q1].len() as u64;
+            let w = if q1 == q2 {
+                c1 * c1.saturating_sub(1) / 2
+            } else {
+                c1 * self.ubuckets[q2].len() as u64
+            };
+            if idx >= w {
+                idx -= w;
+                continue;
+            }
+            return if q1 == q2 {
+                let i = self.rng.random_range(0..c1) as usize;
+                let mut j = self.rng.random_range(0..c1 - 1) as usize;
+                if j >= i {
+                    j += 1;
+                }
+                (self.ubuckets[q1][i] as usize, self.ubuckets[q1][j] as usize)
+            } else {
+                let i = self.rng.random_range(0..c1) as usize;
+                let c2 = self.ubuckets[q2].len() as u64;
+                let j = self.rng.random_range(0..c2) as usize;
+                (self.ubuckets[q1][i] as usize, self.ubuckets[q2][j] as usize)
+            };
+        }
+        unreachable!("bulk index within bulk_total");
+    }
+
+    /// Materializes candidate-urn row number `idx`: pick the urn by its
+    /// unscheduled weight, then a uniform member — exact because clean
+    /// urns hold every untouched node of the class and the scheduled
+    /// subset is exchangeable. Decrements the urn.
+    fn draw_urn(&mut self, mut idx: u64) -> (usize, usize) {
+        for q in 0..self.nq {
+            for li in 0..self.cand_urns_by_class[q].len() {
+                let key = self.cand_urns_by_class[q][li];
+                let unc = self.urns.get(&key).unwrap().unc;
+                if idx >= unc {
+                    idx -= unc;
+                    continue;
+                }
+                let t = (key >> 16) as usize;
+                debug_assert_eq!(
+                    self.urns.get(&key).unwrap().cnt,
+                    self.ubuckets[q].len() as u64,
+                    "candidate urns are clean"
+                );
+                let j = self.rng.random_range(0..self.ubuckets[q].len());
+                let w = self.ubuckets[q][j] as usize;
+                let urn = self.urns.get_mut(&key).unwrap();
+                urn.cnt -= 1;
+                urn.unc -= 1;
+                self.rows_avail -= 1;
+                return (t, w);
+            }
+        }
+        unreachable!("urn index within rows_avail");
+    }
+
+    /// Advances the clock through quiescent rounds without touching the
+    /// configuration. Landing mid-round hands the already-elapsed draws
+    /// to [`schedule_skips`]; landing in a later round rebuilds the
+    /// partition with the elapsed prefix pre-consumed from the pool.
+    ///
+    /// [`schedule_skips`]: Self::schedule_skips
+    fn jump_quiescent_to(&mut self, target: u64) {
+        debug_assert!(self.is_quiescent() && target >= self.book.steps);
+        let remaining = self.m - self.book.steps % self.m;
+        if target - self.book.steps < remaining {
+            let t = target - self.book.steps;
+            self.schedule_skips(t);
+            self.book.steps = target;
+            return;
+        }
+        self.book.steps = target;
+        self.start_round(target % self.m);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run loops (predicates over the sparse view) and the fault layer.
+// ---------------------------------------------------------------------
+impl<M: EnumerableMachine> RoundBucketSim<M> {
+    /// Runs until `stable` holds or `max_steps` total steps have elapsed —
+    /// the sparse counterpart of
+    /// [`RoundSim::run_until`](crate::RoundSim::run_until), with the same
+    /// predicate-evaluation points (initially and after every effective
+    /// interaction). The predicate reads the [`SparsePop`] view, like
+    /// [`BucketSim::run_until`](crate::BucketSim::run_until).
+    ///
+    /// If the configuration quiesces while `stable` is false, the clock
+    /// jumps to the budget and the exhausted budget is reported
+    /// immediately.
+    pub fn run_until(
+        &mut self,
+        mut stable: impl FnMut(&SparsePop) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.sp) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    if max_steps > self.book.steps {
+                        self.jump_quiescent_to(max_steps);
+                    }
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate { result, .. } => {
+                    if result.is_effective() && stable(&self.sp) {
+                        return self.book.stabilized_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`run_until`](Self::run_until) but only re-evaluates the
+    /// predicate when an edge changes. Correct (and faster) for
+    /// predicates that depend only on the output graph.
+    pub fn run_until_edges(
+        &mut self,
+        mut stable: impl FnMut(&SparsePop) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        if stable(&self.sp) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    if max_steps > self.book.steps {
+                        self.jump_quiescent_to(max_steps);
+                    }
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate {
+                    result:
+                        StepResult::Effective {
+                            edge_changed: true, ..
+                        },
+                    ..
+                } => {
+                    if stable(&self.sp) {
+                        return self.book.stabilized_now();
+                    }
+                }
+                EventStep::Candidate { .. } => {}
+            }
+        }
+    }
+
+    /// Advances until the step counter reaches exactly `target` — the
+    /// negative hypergeometric law is self-similar under truncation (see
+    /// [`hypergeometric_skip`]), so stopping and resuming mid-skip is
+    /// exact.
+    pub fn run_to(&mut self, target: u64) {
+        while self.book.steps < target {
+            match self.advance(target) {
+                EventStep::Quiescent => {
+                    self.jump_quiescent_to(target);
+                    return;
+                }
+                EventStep::BudgetExhausted => return,
+                EventStep::Candidate { .. } => {}
+            }
+        }
+    }
+
+    /// Applies one resolved fault event, reclassifying exactly the
+    /// cohorts and explicit pairs whose effectiveness flipped. The draw
+    /// space stays frozen at the capacity: dead pairs keep consuming
+    /// their round occurrences as anonymous non-candidates, so the pool
+    /// does *not* shrink on a crash and `pool_invariant_holds` is
+    /// preserved.
+    fn apply_resolved(&mut self, resolved: ResolvedFault) {
+        match resolved {
+            ResolvedFault::Noop => {}
+            ResolvedFault::Crash(x) => {
+                // Touch x first (it may still be anonymous), then flip
+                // every structure that keys on its liveness: its cohorts
+                // all demote to non-candidates, its explicit pairs all
+                // turn ineffective, and its untouched pairs stop being
+                // counted (x leaves the touched buckets; its urn rows
+                // were just demoted).
+                self.ensure_touched(x);
+                self.alive[x] = false;
+                self.tbucket_remove(x, self.sp.state_index(x));
+                self.sp.bucket_remove(x);
+                self.update_urn_flags(x);
+                let partners: Vec<u32> = self.x_by_node[x].clone();
+                for w in partners {
+                    self.recompute_x(x, w as usize);
+                }
+                // Drop x's active edges (explicit pairs by invariant),
+                // notifications in ascending node order like the other
+                // engines.
+                let mut neighbors: Vec<usize> = self.sp.neighbors(x).collect();
+                neighbors.sort_unstable();
+                for &w in &neighbors {
+                    self.sp.set_edge(x, w, false);
+                    self.recompute_x(x, w);
+                }
+                if !neighbors.is_empty() {
+                    self.book.edge_events += neighbors.len() as u64;
+                    self.book.last_output_change = self.book.steps;
+                }
+                for &w in &neighbors {
+                    let sw = self.sp.state_index(w);
+                    if let Some(new) = self.machine.notify_indexed(sw) {
+                        if new != sw {
+                            self.ensure_touched(w);
+                            self.apply_state_change(w, new);
+                        }
+                    }
+                }
+            }
+            ResolvedFault::Arrive(x) => {
+                // The ghost was born touched; it joins as a live node
+                // with fresh pool-sourced cohorts over the untouched
+                // classes. `reset_dead` stays set: pairs owned by
+                // earlier-touched nodes were never in their urns (x was
+                // dead then) and keep resolving against the pool.
+                debug_assert!(!self.alive[x] && self.touched[x] && self.reset_dead[x]);
+                self.alive[x] = true;
+                self.sp.bucket_insert(x);
+                let q = self.sp.state_index(x);
+                self.rs_class[x] = q as u16;
+                self.tseq[x] = self.seq_next;
+                self.seq_next += 1;
+                self.tbucket_insert(x, q);
+                for q2 in 0..self.nq {
+                    let k = self.ubuckets[q2].len() as u64;
+                    if k > 0 {
+                        self.make_urn(x, q2, k, true);
+                    }
+                }
+                self.tbucket_sup_scan(x);
+            }
+            ResolvedFault::DeleteEdge(u, v) => self.delete_edge_fault(u, v),
+            ResolvedFault::DeleteRandomEdges { count, mut rng } => {
+                // The dense engines sample from the triangular-index
+                // order, lexicographic in (min, max) — sort the
+                // adjacency-derived list to match.
+                let mut edges: Vec<(usize, usize)> = Vec::with_capacity(self.sp.active_count());
+                for u in 0..self.sp.n() {
+                    edges.extend(self.sp.neighbors(u).filter(|&w| w > u).map(|w| (u, w)));
+                }
+                edges.sort_unstable();
+                for (u, v) in sample_without_replacement(&mut rng, edges, count) {
+                    self.delete_edge_fault(u, v);
+                }
+            }
+        }
+        debug_assert!(self.pool_invariant_holds());
+    }
+
+    /// Deactivates edge `{u, v}` as a fault (no-op when inactive) and
+    /// reclassifies the single affected pair — explicit by the
+    /// active-edge invariant.
+    fn delete_edge_fault(&mut self, u: usize, v: usize) {
+        if !self.sp.is_active(u, v) {
+            return;
+        }
+        self.sp.set_edge(u, v, false);
+        self.book.edge_events += 1;
+        self.book.last_output_change = self.book.steps;
+        self.recompute_x(u, v);
+    }
+
+    /// Applies every plan event whose scheduled time is ≤ the current
+    /// step counter.
+    fn apply_due_faults(&mut self) {
+        loop {
+            let resolved = match &mut self.faults {
+                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
+                    fs.resolve_next().expect("next_at implies a pending event")
+                }
+                _ => return,
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Applies every remaining plan event *now*, regardless of its
+    /// scheduled time (see
+    /// [`Simulation::apply_faults_now`](crate::Simulation::apply_faults_now)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn apply_faults_now(&mut self) {
+        assert!(self.faults.is_some(), "apply_faults_now needs a fault plan");
+        loop {
+            let Some(resolved) = self.faults.as_mut().and_then(FaultState::resolve_next) else {
+                return;
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Advances to exactly `target` total steps, applying plan events at
+    /// their scheduled times on the way (same stop/resume exactness as
+    /// [`RoundSim::run_faulted_to`](crate::RoundSim::run_faulted_to)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_to(&mut self, target: u64) {
+        assert!(self.faults.is_some(), "run_faulted_to needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= target => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                _ => {
+                    self.run_to(target);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs a faulted execution to stability — same semantics as
+    /// [`RoundSim::run_faulted_until`](crate::RoundSim::run_faulted_until):
+    /// the predicate is not consulted while plan events are pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no fault plan.
+    pub fn run_faulted_until(
+        &mut self,
+        mut stable: impl FnMut(&SparsePop, &FaultState) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        assert!(self.faults.is_some(), "run_faulted_until needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= max_steps => {
+                    self.run_to(at);
+                    self.apply_due_faults();
+                }
+                Some(_) => {
+                    self.run_to(max_steps);
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                None => break,
+            }
+        }
+        if stable(&self.sp, self.faults.as_ref().expect("asserted above")) {
+            return self.book.stabilized_now();
+        }
+        loop {
+            match self.advance(max_steps) {
+                EventStep::Quiescent => {
+                    if max_steps > self.book.steps {
+                        self.jump_quiescent_to(max_steps);
+                    }
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                EventStep::BudgetExhausted => {
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    }
+                }
+                EventStep::Candidate { result, .. } => {
+                    if result.is_effective()
+                        && stable(&self.sp, self.faults.as_ref().expect("asserted above"))
+                    {
+                        return self.book.stabilized_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProtocolBuilder, RuleProtocol, RoundSim};
+
+    const OFF: Link = Link::Off;
+    const ON: Link = Link::On;
+
+    fn matching_protocol() -> RuleProtocol {
+        let mut b = ProtocolBuilder::new("matching");
+        let a = b.state("a");
+        let m = b.state("b");
+        b.rule((a, a, OFF), (m, m, ON));
+        b.build().expect("valid")
+    }
+
+    /// Match in one round, dissolve each matched edge at its next
+    /// occurrence: converges in exactly two rounds under any box
+    /// schedule (see the workspace-level regression test).
+    fn dissolve_protocol() -> RuleProtocol {
+        let mut b = ProtocolBuilder::new("dissolve");
+        let a = b.state("a");
+        let m = b.state("b");
+        let d = b.state("c");
+        b.rule((a, a, OFF), (m, m, ON));
+        b.rule((m, m, ON), (d, d, OFF));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn matching_converges_in_round_one() {
+        for seed in 0..20 {
+            let mut sim = RoundBucketSim::new(matching_protocol(), 20, seed);
+            let out = sim.run_until_edges(|sp| sp.active_count() == 10, 10_000);
+            assert!(out.stabilized(), "seed {seed}: {out:?}");
+            // Every (a, a) pair occurs within round 1, so no two nodes
+            // can both survive it unmatched.
+            assert!(sim.steps() <= sim.pairs_per_round(), "seed {seed}");
+            assert_eq!(sim.last_output_change_round(), 1, "seed {seed}");
+            assert_eq!(sim.effective_steps(), 10);
+            assert!(sim.is_quiescent());
+        }
+    }
+
+    #[test]
+    fn dissolve_takes_exactly_two_rounds() {
+        // n even: round 1 matches everyone (any two unmatched nodes
+        // would have matched when their pair came up), and each matched
+        // pair recurs exactly once in round 2, where it dissolves. The
+        // convergence round is therefore deterministically 2.
+        let p = dissolve_protocol();
+        let d = p.state("c").expect("dissolved state exists");
+        let di = p.state_index(&d);
+        for seed in 0..20 {
+            let mut sim = RoundBucketSim::new(p.clone(), 12, 100 + seed);
+            let out = sim.run_until_edges(
+                |sp| sp.count_index(di) == sp.n() && sp.active_count() == 0,
+                200_000,
+            );
+            assert!(out.stabilized(), "seed {seed}: {out:?}");
+            let converged = out.converged_at().expect("stabilized");
+            assert_eq!(sim.round_of(converged), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = RoundBucketSim::new(matching_protocol(), 16, seed);
+            let out = sim.run_until_edges(|sp| sp.active_count() == 8, 100_000);
+            (out, sim.steps(), sim.edge_events(), sim.rounds_completed())
+        };
+        assert_eq!(run(9), run(9));
+        assert!(run(9).0.stabilized());
+    }
+
+    #[test]
+    fn compiled_and_interpreted_agree_step_for_step() {
+        let p = matching_protocol();
+        let mut a = RoundBucketSim::new(p.clone(), 15, 31);
+        let mut b = RoundBucketSim::new(p.compile(), 15, 31);
+        loop {
+            let (ra, rb) = (a.advance(u64::MAX), b.advance(u64::MAX));
+            assert_eq!(ra, rb);
+            assert_eq!(a.steps(), b.steps());
+            if ra == EventStep::Quiescent {
+                break;
+            }
+        }
+        assert_eq!(a.to_population(), b.to_population());
+    }
+
+    #[test]
+    fn budget_is_respected_exactly_and_resumes() {
+        let mut sim = RoundBucketSim::new(matching_protocol(), 50, 3);
+        let out = sim.run_until(|_| false, 1_000);
+        assert_eq!(out, RunOutcome::MaxSteps { steps: 1_000 });
+        assert_eq!(sim.steps(), 1_000);
+        // Resume mid-round: the skip law is self-similar, the run goes on.
+        sim.run_to(2_000);
+        assert_eq!(sim.steps(), 2_000);
+        let out = sim.run_until_edges(|sp| sp.active_count() == 25, u64::MAX);
+        assert!(out.stabilized());
+    }
+
+    #[test]
+    fn quiescent_unstable_returns_budget_immediately() {
+        let mut b = ProtocolBuilder::new("inert");
+        let _ = b.state("a");
+        let p = b.build().expect("valid");
+        let mut sim = RoundBucketSim::new(p, 8, 0);
+        let out = sim.run_until(|_| false, u64::MAX);
+        assert_eq!(out, RunOutcome::MaxSteps { steps: u64::MAX });
+    }
+
+    #[test]
+    fn quiescence_after_convergence_jumps_to_target() {
+        let mut sim = RoundBucketSim::new(matching_protocol(), 10, 5);
+        sim.run_until_edges(|sp| sp.active_count() == 5, u64::MAX);
+        let done = sim.steps();
+        sim.run_to(done + 1_000_000);
+        assert_eq!(sim.steps(), done + 1_000_000);
+        assert_eq!(sim.effective_steps(), 5);
+        assert!(sim.pool_invariant_holds());
+    }
+
+    #[test]
+    fn round_bookkeeping_is_consistent() {
+        let mut sim = RoundBucketSim::new(dissolve_protocol(), 10, 77);
+        let m = sim.pairs_per_round();
+        assert_eq!(m, 45);
+        sim.run_to(3 * m + 7);
+        assert_eq!(sim.rounds_completed(), 3);
+        assert_eq!(sim.round_of(0), 0);
+        assert_eq!(sim.round_of(1), 1);
+        assert_eq!(sim.round_of(m), 1);
+        assert_eq!(sim.round_of(m + 1), 2);
+        assert!(sim.last_output_change_round() <= sim.round_of(sim.steps()));
+    }
+
+    #[test]
+    fn tracks_dense_round_engine_on_average() {
+        // Cheap smoke check of the exactness argument (the full paired
+        // statistical tests live in the workspace-level suite): mean
+        // converged_at against RoundSim over matched trial counts.
+        let trials = 60;
+        let mean = |sparse: bool| -> f64 {
+            (0..trials)
+                .map(|seed| {
+                    let out = if sparse {
+                        RoundBucketSim::new(matching_protocol(), 12, 1000 + seed)
+                            .run_until_edges(|sp| sp.active_count() == 6, u64::MAX)
+                    } else {
+                        RoundSim::new(matching_protocol(), 12, 2000 + seed).run_until_edges(
+                            |p| p.edges().active_count() == 6,
+                            u64::MAX,
+                        )
+                    };
+                    out.converged_at().expect("stabilizes") as f64
+                })
+                .sum::<f64>()
+                / f64::from(trials as u32)
+        };
+        let (s, d) = (mean(true), mean(false));
+        assert!(
+            (s - d).abs() / d < 0.35,
+            "sparse-round {s:.1} vs dense-round {d:.1} means too far apart"
+        );
+    }
+
+    #[test]
+    fn randomized_identity_candidates_count_as_real_steps() {
+        // (a, b, 0) → ½ identity, ½ swap: candidates may resolve
+        // ineffective; each consumes its occurrence in the round.
+        let mut b = ProtocolBuilder::new("lazy-swap");
+        let a = b.state("a");
+        let c = b.state("b");
+        b.initial(a);
+        b.rule_random((a, c, OFF), [(1, (a, c, OFF)), (1, (c, a, OFF))]);
+        let p = b.build().expect("valid");
+        let mut pop = Population::new(4, a);
+        pop.set_state(0, c);
+        let mut sim = RoundBucketSim::from_population(p, pop, 11);
+        let mut saw_ineffective = false;
+        for _ in 0..200 {
+            match sim.advance(u64::MAX) {
+                EventStep::Candidate {
+                    result: StepResult::Ineffective { .. },
+                    ..
+                } => saw_ineffective = true,
+                EventStep::Quiescent => panic!("lazy-swap never quiesces"),
+                _ => {}
+            }
+        }
+        assert!(saw_ineffective, "identity branch should occur in 200 draws");
+        assert!(sim.steps() >= 200);
+    }
+
+    #[test]
+    fn initial_configuration_can_be_stable() {
+        let mut sim = RoundBucketSim::new(matching_protocol(), 6, 2);
+        let out = sim.run_until(|_| true, 10);
+        assert_eq!(
+            out,
+            RunOutcome::Stabilized {
+                detected_at: 0,
+                converged_at: 0,
+                last_effective: 0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let _ = RoundBucketSim::new(matching_protocol(), 1, 0);
+    }
+
+    #[test]
+    fn pool_invariant_survives_fault_events() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let plan = FaultPlan::new(4)
+            .at(10, FaultEvent::CrashRandom)
+            .at(25, FaultEvent::Arrive)
+            .at(40, FaultEvent::DeleteRandomActiveEdges(1));
+        let mut sim = RoundBucketSim::new_faulted(dissolve_protocol(), 10, 17, plan);
+        assert!(sim.pool_invariant_holds());
+        for target in [10, 25, 40, 70, 200] {
+            sim.run_faulted_to(target);
+            assert!(sim.pool_invariant_holds(), "after step {target}");
+        }
+        let fs = sim.fault_state().expect("faulted");
+        assert_eq!(fs.alive_count(), 10);
+        assert_eq!(fs.capacity(), 11);
+    }
+
+    #[test]
+    fn faulted_matching_still_completes_in_round_one() {
+        // A crash at t = 0 leaves 8 live `a` nodes (plus one ghost):
+        // every live (a, a) pair still occurs within round 1, so the
+        // matching among the living is maximal by the round's end.
+        for seed in 0..10 {
+            use crate::fault::{FaultEvent, FaultPlan};
+            let plan = FaultPlan::new(seed).at(0, FaultEvent::CrashRandom);
+            let mut sim = RoundBucketSim::new_faulted(matching_protocol(), 9, 300 + seed, plan);
+            let out = sim.run_faulted_until(|sp, _| sp.active_count() == 4, 1_000_000);
+            assert!(out.stabilized(), "seed {seed}: {out:?}");
+            assert_eq!(sim.last_output_change_round(), 1, "seed {seed}");
+            assert!(sim.pool_invariant_holds());
+        }
+    }
+
+    #[test]
+    fn memory_stays_far_below_the_dense_round_engine() {
+        let n = 4096;
+        let mut sim = RoundBucketSim::new(matching_protocol(), n, 0);
+        sim.run_until_edges(|sp| sp.active_count() == n / 2, u64::MAX);
+        let measured = sim.approx_mem_bytes();
+        let dense = RoundSim::<RuleProtocol>::dense_mem_estimate(n);
+        assert!(
+            measured * 20 < dense,
+            "sparse {measured} bytes should be well under dense {dense}"
+        );
+    }
+
+    #[test]
+    fn matching_at_one_hundred_thousand_nodes() {
+        // The n = 100k frontier the dense round engine cannot touch
+        // (≈ 130 GB): one round of draws, O(n) memory, still exact.
+        let n = 100_000;
+        let mut sim = RoundBucketSim::new(matching_protocol(), n, 42);
+        let out = sim.run_until_edges(|sp| sp.active_count() == n / 2, u64::MAX);
+        assert!(out.stabilized(), "{out:?}");
+        assert_eq!(sim.last_output_change_round(), 1);
+        assert_eq!(sim.effective_steps(), n as u64 / 2);
+        assert!(sim.is_quiescent());
+    }
+}

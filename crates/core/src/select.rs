@@ -13,9 +13,9 @@
 //!
 //! For the **ShuffledRounds** scheduler, [`Engine::auto_for`] routes to
 //! the event-driven [`RoundSim`] while its (≈ 3× dense)
-//! structures fit the same budget, and beyond that to the naive
-//! round-playing [`Simulation`] — there is no sparse
-//! round engine yet, so the fallback is slow but exact.
+//! structures fit the same budget, and beyond that to the sparse
+//! [`RoundBucketSim`] — the same round law in
+//! O(n + |Q|²) memory, so round-denominated sweeps reach n ≥ 100 000.
 //!
 //! Stability predicates run against an [`EngineView`], which exposes the
 //! configuration queries every engine can answer without materializing
@@ -26,8 +26,8 @@ use crate::compiled::EnumerableMachine;
 use crate::event::EventSim;
 use crate::fault::{FaultPlan, FaultState};
 use crate::round::RoundSim;
-use crate::scheduler::ShuffledRounds;
-use crate::sim::{RunOutcome, Simulation};
+use crate::round_bucket::RoundBucketSim;
+use crate::sim::RunOutcome;
 use crate::Population;
 
 /// Default dense-engine memory budget: 512 MiB keeps the dense engine up
@@ -37,7 +37,7 @@ const DEFAULT_MEM_BUDGET: u64 = 512 << 20;
 /// The scheduler family an auto-selected engine must reproduce.
 ///
 /// Every engine the selector can pick is distribution-identical to the
-/// naive [`Simulation`] *under its scheduler*; the
+/// naive [`Simulation`](crate::Simulation) *under its scheduler*; the
 /// two families' running-time distributions differ (that difference is
 /// exactly what round-based experiments measure), so the family is an
 /// input to selection, not something the budget can trade away.
@@ -48,7 +48,7 @@ pub enum SchedulerKind {
     /// [`BucketSim`].
     #[default]
     Uniform,
-    /// The [`ShuffledRounds`] box scheduler —
+    /// The [`ShuffledRounds`](crate::ShuffledRounds) box scheduler —
     /// every pair once per round, rounds as parallel time. Routed to
     /// [`RoundSim`] or the naive loop.
     ShuffledRounds,
@@ -171,7 +171,7 @@ impl<M: EnumerableMachine> EngineView<'_, M> {
 /// [`SchedulerKind::Uniform`] the dense [`EventSim`] when its Θ(n²)
 /// structures fit and the sparse [`BucketSim`] beyond; under
 /// [`SchedulerKind::ShuffledRounds`] the event-driven [`RoundSim`] when
-/// its (≈ 3× dense) structures fit and the naive round-playing loop
+/// its (≈ 3× dense) structures fit and the sparse [`RoundBucketSim`]
 /// beyond. Within a family every arm has identical output distribution,
 /// so the choice is invisible to measurements.
 ///
@@ -226,11 +226,11 @@ pub enum Engine<M: EnumerableMachine + Clone> {
         /// A machine copy the view borrows during runs.
         machine: M,
     },
-    /// The naive round-playing fallback (ShuffledRounds beyond the
-    /// budget): exact but Θ(n²) work per round.
-    RoundNaive {
+    /// The sparse round engine (ShuffledRounds beyond the budget):
+    /// the same round law in O(n + |Q|²) memory.
+    RoundSparse {
         /// The engine.
-        sim: Box<Simulation<M, ShuffledRounds>>,
+        sim: Box<RoundBucketSim<M>>,
         /// A machine copy the view borrows during runs.
         machine: M,
     },
@@ -293,13 +293,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
                     let sim = Box::new(RoundSim::new(machine.clone(), n, seed));
                     Engine::Round { sim, machine }
                 } else {
-                    let sim = Box::new(Simulation::with_scheduler(
-                        machine.clone(),
-                        n,
-                        seed,
-                        ShuffledRounds::new(),
-                    ));
-                    Engine::RoundNaive { sim, machine }
+                    let sim = Box::new(RoundBucketSim::new(machine.clone(), n, seed));
+                    Engine::RoundSparse { sim, machine }
                 }
             }
         }
@@ -365,14 +360,9 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
                     let sim = Box::new(RoundSim::new_faulted(machine.clone(), n, seed, plan));
                     Engine::Round { sim, machine }
                 } else {
-                    let sim = Box::new(Simulation::with_scheduler_faulted(
-                        machine.clone(),
-                        n,
-                        seed,
-                        ShuffledRounds::new(),
-                        plan,
-                    ));
-                    Engine::RoundNaive { sim, machine }
+                    let sim =
+                        Box::new(RoundBucketSim::new_faulted(machine.clone(), n, seed, plan));
+                    Engine::RoundSparse { sim, machine }
                 }
             }
         }
@@ -399,19 +389,19 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
     pub fn scheduler(&self) -> SchedulerKind {
         match self {
             Engine::Dense { .. } | Engine::Sparse { .. } => SchedulerKind::Uniform,
-            Engine::Round { .. } | Engine::RoundNaive { .. } => SchedulerKind::ShuffledRounds,
+            Engine::Round { .. } | Engine::RoundSparse { .. } => SchedulerKind::ShuffledRounds,
         }
     }
 
     /// `"event-dense"`, `"bucket-sparse"`, `"round-dense"`, or
-    /// `"round-naive"`, for bench records.
+    /// `"round-sparse"`, for bench records.
     #[must_use]
     pub fn kind(&self) -> &'static str {
         match self {
             Engine::Dense { .. } => "event-dense",
             Engine::Sparse { .. } => "bucket-sparse",
             Engine::Round { .. } => "round-dense",
-            Engine::RoundNaive { .. } => "round-naive",
+            Engine::RoundSparse { .. } => "round-sparse",
         }
     }
 
@@ -422,7 +412,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.steps(),
             Engine::Sparse { sim, .. } => sim.steps(),
             Engine::Round { sim, .. } => sim.steps(),
-            Engine::RoundNaive { sim, .. } => sim.steps(),
+            Engine::RoundSparse { sim, .. } => sim.steps(),
         }
     }
 
@@ -433,7 +423,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.effective_steps(),
             Engine::Sparse { sim, .. } => sim.effective_steps(),
             Engine::Round { sim, .. } => sim.effective_steps(),
-            Engine::RoundNaive { sim, .. } => sim.effective_steps(),
+            Engine::RoundSparse { sim, .. } => sim.effective_steps(),
         }
     }
 
@@ -445,7 +435,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.last_output_change(),
             Engine::Sparse { sim, .. } => sim.last_output_change(),
             Engine::Round { sim, .. } => sim.last_output_change(),
-            Engine::RoundNaive { sim, .. } => sim.last_output_change(),
+            Engine::RoundSparse { sim, .. } => sim.last_output_change(),
         }
     }
 
@@ -456,7 +446,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.edge_events(),
             Engine::Sparse { sim, .. } => sim.edge_events(),
             Engine::Round { sim, .. } => sim.edge_events(),
-            Engine::RoundNaive { sim, .. } => sim.edge_events(),
+            Engine::RoundSparse { sim, .. } => sim.edge_events(),
         }
     }
 
@@ -467,7 +457,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.approx_mem_bytes(),
             Engine::Sparse { sim, .. } => sim.approx_mem_bytes(),
             Engine::Round { sim, .. } => sim.approx_mem_bytes(),
-            Engine::RoundNaive { sim, .. } => sim.approx_mem_bytes(),
+            Engine::RoundSparse { sim, .. } => sim.approx_mem_bytes(),
         }
     }
 
@@ -489,8 +479,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Round { sim, machine } => {
                 sim.run_until(|pop| stable(&EngineView::Dense { pop, machine }), max_steps)
             }
-            Engine::RoundNaive { sim, machine } => {
-                sim.run_until(|pop| stable(&EngineView::Dense { pop, machine }), max_steps)
+            Engine::RoundSparse { sim, machine } => {
+                sim.run_until(|sp| stable(&EngineView::Sparse { sp, machine }), max_steps)
             }
         }
     }
@@ -510,8 +500,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             }
             Engine::Round { sim, machine } => sim
                 .run_until_edges(|pop| stable(&EngineView::Dense { pop, machine }), max_steps),
-            Engine::RoundNaive { sim, machine } => sim
-                .run_until_edges(|pop| stable(&EngineView::Dense { pop, machine }), max_steps),
+            Engine::RoundSparse { sim, machine } => sim
+                .run_until_edges(|sp| stable(&EngineView::Sparse { sp, machine }), max_steps),
         }
     }
 
@@ -521,10 +511,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.run_to(target),
             Engine::Sparse { sim, .. } => sim.run_to(target),
             Engine::Round { sim, .. } => sim.run_to(target),
-            Engine::RoundNaive { sim, .. } => {
-                let remaining = target.saturating_sub(sim.steps());
-                sim.run_for(remaining);
-            }
+            Engine::RoundSparse { sim, .. } => sim.run_to(target),
         }
     }
 
@@ -535,7 +522,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.population().clone(),
             Engine::Sparse { sim, .. } => sim.to_population(),
             Engine::Round { sim, .. } => sim.population().clone(),
-            Engine::RoundNaive { sim, .. } => sim.population().clone(),
+            Engine::RoundSparse { sim, .. } => sim.to_population(),
         }
     }
 
@@ -547,7 +534,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.fault_state(),
             Engine::Sparse { sim, .. } => sim.fault_state(),
             Engine::Round { sim, .. } => sim.fault_state(),
-            Engine::RoundNaive { sim, .. } => sim.fault_state(),
+            Engine::RoundSparse { sim, .. } => sim.fault_state(),
         }
     }
 
@@ -577,8 +564,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
                 |pop, fs| stable(&EngineView::Dense { pop, machine }, fs),
                 max_steps,
             ),
-            Engine::RoundNaive { sim, machine } => sim.run_faulted_until(
-                |pop, fs| stable(&EngineView::Dense { pop, machine }, fs),
+            Engine::RoundSparse { sim, machine } => sim.run_faulted_until(
+                |sp, fs| stable(&EngineView::Sparse { sp, machine }, fs),
                 max_steps,
             ),
         }
@@ -595,7 +582,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.run_faulted_to(target),
             Engine::Sparse { sim, .. } => sim.run_faulted_to(target),
             Engine::Round { sim, .. } => sim.run_faulted_to(target),
-            Engine::RoundNaive { sim, .. } => sim.run_faulted_to(target),
+            Engine::RoundSparse { sim, .. } => sim.run_faulted_to(target),
         }
     }
 
@@ -611,7 +598,7 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
             Engine::Dense { sim, .. } => sim.apply_faults_now(),
             Engine::Sparse { sim, .. } => sim.apply_faults_now(),
             Engine::Round { sim, .. } => sim.apply_faults_now(),
-            Engine::RoundNaive { sim, .. } => sim.apply_faults_now(),
+            Engine::RoundSparse { sim, .. } => sim.apply_faults_now(),
         }
     }
 }
@@ -634,9 +621,9 @@ mod tests {
         let round = Engine::with_budget_for(matching(), 30, 1, u64::MAX, SchedulerKind::ShuffledRounds);
         assert_eq!(round.kind(), "round-dense");
         assert_eq!(round.scheduler(), SchedulerKind::ShuffledRounds);
-        let naive = Engine::with_budget_for(matching(), 30, 1, 1, SchedulerKind::ShuffledRounds);
-        assert_eq!(naive.kind(), "round-naive");
-        assert_eq!(naive.scheduler(), SchedulerKind::ShuffledRounds);
+        let sparse = Engine::with_budget_for(matching(), 30, 1, 1, SchedulerKind::ShuffledRounds);
+        assert_eq!(sparse.kind(), "round-sparse");
+        assert_eq!(sparse.scheduler(), SchedulerKind::ShuffledRounds);
         assert_eq!(
             Engine::auto(matching(), 30, 1).scheduler(),
             SchedulerKind::Uniform
@@ -718,7 +705,7 @@ mod tests {
             (u64::MAX, SchedulerKind::Uniform, "event-dense"),
             (1, SchedulerKind::Uniform, "bucket-sparse"),
             (u64::MAX, SchedulerKind::ShuffledRounds, "round-dense"),
-            (1, SchedulerKind::ShuffledRounds, "round-naive"),
+            (1, SchedulerKind::ShuffledRounds, "round-sparse"),
         ];
         for (budget, family, kind) in configs {
             let mut eng =

@@ -1,38 +1,42 @@
-//! Paired-trial statistical equivalence of the four engines.
+//! Paired-trial statistical equivalence of the five engines.
 //!
 //! The fast engines are exact by construction, each against the naive
 //! loop under *its* scheduler family: `EventSim` and `BucketSim` equal
 //! `Simulation` under the uniform scheduler (`EventSim` skips the draws
 //! outside the exact effective set; `BucketSim` skips the draws outside
 //! a state-bucketed superset and rejects the difference — see
-//! `netcon_core::bucket`), and `RoundSim` equals `Simulation` under
-//! `ShuffledRounds` (hypergeometric within-round skips plus lazy
-//! scheduled-identity resolution — see `netcon_core::round`). The two
-//! families' running-time distributions genuinely differ (box schedules
-//! remove the coupon-collector slack), so the checks are pairwise
-//! *within* each family: the uniform trio all ways, the round pair
-//! head-to-head — four engines, four comparisons per workload, with
-//! thousands of independent trials per engine (disjoint seed streams,
-//! Welch z on the means, ratio bound on the variances). Seeds are fixed,
-//! so the suite is deterministic: the thresholds sit at ≈ 4σ of the
-//! null, far from both flakiness and real regressions (an engine bug
-//! that biases a skip law shows up as tens of σ).
+//! `netcon_core::bucket`), and `RoundSim` / `RoundBucketSim` equal
+//! `Simulation` under `ShuffledRounds` (hypergeometric within-round
+//! skips plus scheduled-identity resolution — lazy dense rows in
+//! `netcon_core::round`, counted cohorts in
+//! `netcon_core::round_bucket`). The two families' running-time
+//! distributions genuinely differ (box schedules remove the
+//! coupon-collector slack), so the checks are pairwise *within* each
+//! family: the uniform trio all ways, the round trio against its naive
+//! loop — five engines, five comparisons per workload, with thousands
+//! of independent trials per engine (disjoint seed streams, Welch z on
+//! the means, ratio bound on the variances). Seeds are fixed, so the
+//! suite is deterministic: the thresholds sit at ≈ 4σ of the null, far
+//! from both flakiness and real regressions (an engine bug that biases
+//! a skip law shows up as tens of σ).
 //!
 //! The coin-level proptests at the bottom pin the shared skip samplers
 //! themselves: the geometric inversion both uniform-family engines draw
 //! from (one shared skip schedule ⇒ the superset engine never skips
-//! more), and the hypergeometric inversions `RoundSim` draws from
+//! more; `GeoSkipCache` reproduces it bit for bit on the cached
+//! domain), the hypergeometric inversions the round engines draw from
 //! (bracketing the brute-force CDFs, including the within-round
-//! exhaustion edge cases). `round_counts` adds the exact regression: on
-//! protocols whose round count is schedule-independent, `RoundSim` and
-//! the naive ShuffledRounds loop must report identical round counts on
-//! every seed.
+//! exhaustion edge cases), and the batched-endgame absorption laws of
+//! `netcon_core::walk` against brute-force per-draw walks.
+//! `round_counts` adds the exact regression: on protocols whose round
+//! count is schedule-independent, every round-family engine must report
+//! the identical round count on every seed.
 
 use netcon::core::seeds::derive2;
 use netcon::core::{
     geometric_skip, hypergeometric_count, hypergeometric_skip, unit_open01, BucketSim, EventSim,
-    Link, Population, ProtocolBuilder, RoundSim, RuleProtocol, ShuffledRounds, Simulation,
-    SparsePop, StateId,
+    GeoSkipCache, Link, Population, ProtocolBuilder, RoundBucketSim, RoundSim, RuleProtocol,
+    ShuffledRounds, Simulation, SparsePop, StateId,
 };
 use netcon::graph::properties::is_maximum_matching;
 use netcon::protocols::{cycle_cover, simple_global_line};
@@ -44,8 +48,9 @@ enum EngineKind {
     Bucket,
     NaiveShuffled,
     Round,
+    RoundBucket,
 }
-use EngineKind::{Bucket, Event, Naive, NaiveShuffled, Round};
+use EngineKind::{Bucket, Event, Naive, NaiveShuffled, Round, RoundBucket};
 
 /// Mean and sample variance of `converged_at` over `trials` runs.
 fn sample(
@@ -73,6 +78,8 @@ fn sample(
                 Round => {
                     RoundSim::new(compiled.clone(), n, seed).run_until(|p| stable(p), u64::MAX)
                 }
+                RoundBucket => RoundBucketSim::new(compiled.clone(), n, seed)
+                    .run_until(|sp| sparse_stable(sp), u64::MAX),
                 NaiveShuffled => {
                     Simulation::with_scheduler(protocol.clone(), n, seed, ShuffledRounds::new())
                         .run_until(|p| stable(p), u64::MAX)
@@ -112,14 +119,15 @@ fn assert_pair(name: &str, a: (&str, f64, f64), b: (&str, f64, f64), n: usize, t
     );
 }
 
-/// Runs all four engines on disjoint seed streams and asserts pairwise
+/// Runs all five engines on disjoint seed streams and asserts pairwise
 /// equivalence of the `converged_at` distributions *within each
 /// scheduler family*: the uniform trio (naive / event / bucket) all
-/// ways, and the ShuffledRounds pair (naive round-player / `RoundSim`)
-/// head-to-head. Cross-family comparisons are deliberately absent — the
-/// families' distributions differ, and that difference is a measured
-/// result, not a bug.
-fn assert_equivalent_4way(
+/// ways, and the ShuffledRounds trio (naive round-player / `RoundSim` /
+/// `RoundBucketSim`) against its naive loop and against each other.
+/// Cross-family comparisons are deliberately absent — the families'
+/// distributions differ, and that difference is a measured result, not
+/// a bug.
+fn assert_equivalent_5way(
     name: &str,
     protocol: &RuleProtocol,
     stable: impl Fn(&Population<StateId>) -> bool + Copy,
@@ -135,7 +143,10 @@ fn assert_equivalent_4way(
     assert_pair(name, ("bucket", mb, vb), ("event", me, ve), n, trials);
     let (mr, vr) = sample(protocol, stable, sparse_stable, n, trials, 404, Round);
     let (ms, vs) = sample(protocol, stable, sparse_stable, n, trials, 505, NaiveShuffled);
+    let (mq, vq) = sample(protocol, stable, sparse_stable, n, trials, 606, RoundBucket);
     assert_pair(name, ("round", mr, vr), ("naive-shuffled", ms, vs), n, trials);
+    assert_pair(name, ("round-sparse", mq, vq), ("naive-shuffled", ms, vs), n, trials);
+    assert_pair(name, ("round-sparse", mq, vq), ("round", mr, vr), n, trials);
 }
 
 fn matching_protocol() -> RuleProtocol {
@@ -151,7 +162,7 @@ fn simple_global_line_matches_across_engines() {
     // Θ(n⁴)-class workload; n stays small so the naive side finishes.
     // converged_at's relative sd here is ≈ 70%, so the 5% mean bar needs
     // thousands of trials to sit at ≳ 3σ of the null.
-    assert_equivalent_4way(
+    assert_equivalent_5way(
         "Simple-Global-Line",
         &simple_global_line::protocol(),
         simple_global_line::is_stable,
@@ -163,7 +174,7 @@ fn simple_global_line_matches_across_engines() {
 
 #[test]
 fn cycle_cover_matches_across_engines() {
-    assert_equivalent_4way(
+    assert_equivalent_5way(
         "Cycle-Cover",
         &cycle_cover::protocol(),
         cycle_cover::is_stable,
@@ -175,7 +186,7 @@ fn cycle_cover_matches_across_engines() {
 
 #[test]
 fn matching_process_matches_across_engines() {
-    assert_equivalent_4way(
+    assert_equivalent_5way(
         "Maximum-Matching",
         &matching_protocol(),
         |p| is_maximum_matching(p.edges()),
@@ -205,6 +216,7 @@ fn step_budget_distribution_matches() {
                 Bucket => 99,
                 Round => 111,
                 NaiveShuffled => 122,
+                RoundBucket => 133,
             };
             let seed = derive2(base, n as u64, t);
             let out = match kind {
@@ -216,6 +228,8 @@ fn step_budget_distribution_matches() {
                     .run_until(|q| is_maximum_matching(q.edges()), budget),
                 Round => RoundSim::new(compiled.clone(), n, seed)
                     .run_until(|q| is_maximum_matching(q.edges()), budget),
+                RoundBucket => RoundBucketSim::new(compiled.clone(), n, seed)
+                    .run_until(|sp| sp.count_index(0) <= 1, budget),
                 NaiveShuffled => {
                     Simulation::with_scheduler(p.clone(), n, seed, ShuffledRounds::new())
                         .run_until(|q| is_maximum_matching(q.edges()), budget)
@@ -259,6 +273,13 @@ fn step_budget_distribution_matches() {
     assert!(
         diff < 0.10,
         "timeout rates diverge: round {tr}/{trials} vs naive-shuffled {ts}/{trials}"
+    );
+    let (tq, sq) = timeouts(RoundBucket);
+    assert_eq!(tq + sq, trials);
+    let diff = (tq as f64 - ts as f64).abs() / trials as f64;
+    assert!(
+        diff < 0.10,
+        "timeout rates diverge: round-sparse {tq}/{trials} vs naive-shuffled {ts}/{trials}"
     );
 }
 
@@ -314,10 +335,28 @@ mod round_counts {
                     "n={n} seed={seed}: engine round bookkeeping disagrees with div_ceil"
                 );
 
+                let di = {
+                    use netcon::core::EnumerableMachine;
+                    p.compile().state_index(&d)
+                };
+                let mut sparse =
+                    RoundBucketSim::new(p.compile(), n, derive2(93, n as u64, seed));
+                let sparse_out = sparse.run_until(
+                    |sp| sp.count_index(di) == sp.n() && sp.active_count() == 0,
+                    u64::MAX,
+                );
+                let sparse_rounds =
+                    sparse_out.converged_at().expect("stabilizes").div_ceil(m);
                 assert_eq!(
-                    (naive_rounds, round_rounds),
-                    (2, 2),
-                    "n={n} seed={seed}: dissolve must take exactly 2 rounds on both engines"
+                    sparse.last_output_change_round(),
+                    sparse_rounds,
+                    "n={n} seed={seed}: sparse round bookkeeping disagrees with div_ceil"
+                );
+
+                assert_eq!(
+                    (naive_rounds, round_rounds, sparse_rounds),
+                    (2, 2, 2),
+                    "n={n} seed={seed}: dissolve must take exactly 2 rounds on every engine"
                 );
             }
         }
@@ -347,7 +386,68 @@ mod round_counts {
                 let out = round.run_until(stable, u64::MAX);
                 assert!(out.stabilized());
                 let rr = round.last_output_change_round();
-                assert_eq!((nr, rr), (1, 1), "n={n} seed={seed}");
+                let mut sparse = RoundBucketSim::new(p.compile(), n, derive2(95, n as u64, seed));
+                let out = sparse.run_until(|sp| sp.count_index(0) <= 1, u64::MAX);
+                assert!(out.stabilized());
+                let sr = sparse.last_output_change_round();
+                assert_eq!((nr, rr, sr), (1, 1, 1), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    /// Stop/resume across round boundaries is coin-for-coin identical on
+    /// both round-family fast engines: a skip batch never crosses a
+    /// round boundary, so `run_to` interrupted exactly on boundaries
+    /// consumes the identical draw sequence as the straight run — steps,
+    /// bookkeeping, states, and edges all reproduce bit-exactly. (A
+    /// *mid-round* interrupt may land inside a pending skip batch; there
+    /// the engines promise truncation self-similarity — the resumed
+    /// distribution is exact, checked statistically above — not coin
+    /// identity.)
+    #[test]
+    fn stop_resume_at_round_boundaries_is_coin_for_coin_identical() {
+        let p = super::round_counts::dissolve_protocol();
+        let compiled = p.compile();
+        for n in [8usize, 11] {
+            let m = (n as u64) * (n as u64 - 1) / 2;
+            // Every round boundary through the active phase, then deep
+            // into quiescence (the jump path).
+            let stops = [m, 2 * m, 3 * m, 4 * m, 5 * m + 7];
+            let end = 5 * m + 7;
+            type Fp = (u64, u64, u64, u64, Vec<StateId>, Vec<(usize, usize)>);
+            let fp = |pop: &Population<StateId>, steps: u64, eff: u64, ev: u64, lo: u64| -> Fp {
+                let states = (0..pop.n()).map(|u| *pop.state(u)).collect();
+                let edges = pop.edges().active_edges().collect();
+                (steps, eff, ev, lo, states, edges)
+            };
+
+            for seed in 0..8u64 {
+                let s = derive2(47, n as u64, seed);
+                let mut a = RoundSim::new(compiled.clone(), n, s);
+                a.run_to(end);
+                let mut b = RoundSim::new(compiled.clone(), n, s);
+                for &t in &stops {
+                    b.run_to(t);
+                }
+                assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+                assert_eq!(
+                    fp(a.population(), a.steps(), a.effective_steps(), a.edge_events(), a.last_output_change()),
+                    fp(b.population(), b.steps(), b.effective_steps(), b.edge_events(), b.last_output_change()),
+                    "RoundSim n={n} seed={seed}"
+                );
+
+                let mut a = RoundBucketSim::new(compiled.clone(), n, s);
+                a.run_to(end);
+                let mut b = RoundBucketSim::new(compiled.clone(), n, s);
+                for &t in &stops {
+                    b.run_to(t);
+                }
+                assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+                assert_eq!(
+                    fp(&a.to_population(), a.steps(), a.effective_steps(), a.edge_events(), a.last_output_change()),
+                    fp(&b.to_population(), b.steps(), b.effective_steps(), b.edge_events(), b.last_output_change()),
+                    "RoundBucketSim n={n} seed={seed}"
+                );
             }
         }
     }
@@ -393,6 +493,8 @@ mod faults {
                         .run_faulted_until(|q, fs| stable(q, fs), max),
                     Round => RoundSim::new_faulted(compiled.clone(), n, seed, plan)
                         .run_faulted_until(|q, fs| stable(q, fs), max),
+                    RoundBucket => RoundBucketSim::new_faulted(compiled.clone(), n, seed, plan)
+                        .run_faulted_until(|sp, fs| sparse_stable(sp, fs), max),
                     NaiveShuffled => Simulation::with_scheduler_faulted(
                         protocol.clone(),
                         n,
@@ -411,9 +513,10 @@ mod faults {
         (mean, var)
     }
 
-    /// The fault-mode mirror of `assert_equivalent_4way`: uniform trio
-    /// all ways, round pair head-to-head, identical plans per trial.
-    fn assert_equivalent_4way_faulted(
+    /// The fault-mode mirror of `assert_equivalent_5way`: uniform trio
+    /// all ways, round trio against its naive loop, identical plans per
+    /// trial.
+    fn assert_equivalent_5way_faulted(
         name: &str,
         protocol: &RuleProtocol,
         stable: impl Fn(&Population<StateId>, &FaultState) -> bool + Copy,
@@ -433,7 +536,10 @@ mod faults {
         assert_pair(name, ("bucket", mb, vb), ("event", me, ve), n, trials);
         let (mr, vr) = run(404, Round);
         let (ms, vs) = run(505, NaiveShuffled);
+        let (mq, vq) = run(606, RoundBucket);
         assert_pair(name, ("round", mr, vr), ("naive-shuffled", ms, vs), n, trials);
+        assert_pair(name, ("round-sparse", mq, vq), ("naive-shuffled", ms, vs), n, trials);
+        assert_pair(name, ("round-sparse", mq, vq), ("round", mr, vr), n, trials);
     }
 
     #[test]
@@ -450,7 +556,7 @@ mod faults {
                 .at(450, FaultEvent::DeleteRandomActiveEdges(2))
         };
         let a = StateId::new(0);
-        assert_equivalent_4way_faulted(
+        assert_equivalent_5way_faulted(
             "Maximum-Matching/faulted",
             &matching_protocol(),
             move |q, fs| {
@@ -482,7 +588,7 @@ mod faults {
                 .at(2_000, FaultEvent::Arrive)
                 .at(4_000, FaultEvent::Arrive)
         };
-        assert_equivalent_4way_faulted(
+        assert_equivalent_5way_faulted(
             "Simple-Global-Line/arrivals",
             &simple_global_line::protocol(),
             |q, fs| q.edges().active_count() + 1 == fs.alive_count(),
@@ -523,17 +629,50 @@ mod faults {
                     .converged_at()
                     .expect("stabilizes")
                     .div_ceil(m);
-                let mut round =
-                    RoundSim::new_faulted(p.compile(), n, derive2(62, n as u64, seed), plan);
+                let mut round = RoundSim::new_faulted(
+                    p.compile(),
+                    n,
+                    derive2(62, n as u64, seed),
+                    plan.clone(),
+                );
                 let round_rounds = round
                     .run_faulted_until(stable, u64::MAX)
                     .converged_at()
                     .expect("stabilizes")
                     .div_ceil(m);
                 assert_eq!(round.last_output_change_round(), round_rounds, "n={n} seed={seed}");
+
+                let di = {
+                    use netcon::core::EnumerableMachine;
+                    p.compile().state_index(&d)
+                };
+                let mut sparse = RoundBucketSim::new_faulted(
+                    p.compile(),
+                    n,
+                    derive2(93, n as u64, seed),
+                    plan,
+                );
+                let sparse_rounds = sparse
+                    .run_faulted_until(
+                        |sp, fs| {
+                            (0..sp.n())
+                                .filter(|&u| fs.is_alive(u))
+                                .all(|u| sp.state_index(u) == di)
+                                && sp.active_count() == 0
+                        },
+                        u64::MAX,
+                    )
+                    .converged_at()
+                    .expect("stabilizes")
+                    .div_ceil(m);
                 assert_eq!(
-                    (naive_rounds, round_rounds),
-                    (2, 2),
+                    sparse.last_output_change_round(),
+                    sparse_rounds,
+                    "n={n} seed={seed}"
+                );
+                assert_eq!(
+                    (naive_rounds, round_rounds, sparse_rounds),
+                    (2, 2, 2),
                     "n={n} seed={seed}: dissolve minus one node still takes exactly 2 rounds"
                 );
             }
@@ -590,7 +729,7 @@ mod faults {
 
         let mut a = RoundSim::new_faulted(compiled.clone(), n, 9, plan());
         a.run_faulted_to(400);
-        let mut b = RoundSim::new_faulted(compiled, n, 9, plan());
+        let mut b = RoundSim::new_faulted(compiled.clone(), n, 9, plan());
         for &s in &stops {
             b.run_faulted_to(s);
         }
@@ -599,6 +738,19 @@ mod faults {
             fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
             fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
             "RoundSim"
+        );
+
+        let mut a = RoundBucketSim::new_faulted(compiled.clone(), n, 9, plan());
+        a.run_faulted_to(400);
+        let mut b = RoundBucketSim::new_faulted(compiled, n, 9, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+        assert_eq!(
+            fp(&a.to_population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(&b.to_population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "RoundBucketSim"
         );
 
         let mut a = Simulation::new_faulted(p.clone(), n, 9, plan());
@@ -646,7 +798,7 @@ mod faults {
                 .horizon(4_000)
                 .compile(n)
         };
-        assert_equivalent_4way_faulted(
+        assert_equivalent_5way_faulted(
             "FT-Global-Star/churn",
             &ft_star::protocol(),
             ft_star::is_stable_faulted_pop,
@@ -716,7 +868,7 @@ mod faults {
 
         let mut a = RoundSim::new_faulted(compiled.clone(), n, 17, plan());
         a.run_faulted_to(end);
-        let mut b = RoundSim::new_faulted(compiled, n, 17, plan());
+        let mut b = RoundSim::new_faulted(compiled.clone(), n, 17, plan());
         for &s in &stops {
             b.run_faulted_to(s);
         }
@@ -725,6 +877,19 @@ mod faults {
             fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
             fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
             "RoundSim/churn"
+        );
+
+        let mut a = RoundBucketSim::new_faulted(compiled.clone(), n, 17, plan());
+        a.run_faulted_to(end);
+        let mut b = RoundBucketSim::new_faulted(compiled, n, 17, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+        assert_eq!(
+            fp(&a.to_population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(&b.to_population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "RoundBucketSim/churn"
         );
 
         let mut a = Simulation::new_faulted(p.clone(), n, 17, plan());
@@ -833,12 +998,14 @@ mod fault_bookkeeping {
 
             let mut ev = EventSim::new_faulted(p.clone(), n, seed, plan.clone());
             let mut bu = BucketSim::new_faulted(p.clone(), n, seed, plan.clone());
-            let mut rs = RoundSim::new_faulted(p.clone(), n, seed, plan);
+            let mut rs = RoundSim::new_faulted(p.clone(), n, seed, plan.clone());
+            let mut rb = RoundBucketSim::new_faulted(p.clone(), n, seed, plan);
 
             for target in [120u64, 260] {
                 ev.run_faulted_to(target);
                 bu.run_faulted_to(target);
                 rs.run_faulted_to(target);
+                rb.run_faulted_to(target);
 
                 let (exact_e, _) =
                     brute(&p, ev.population(), ev.fault_state().expect("faulted"));
@@ -853,6 +1020,17 @@ mod fault_bookkeeping {
                     brute(&p, rs.population(), rs.fault_state().expect("faulted"));
                 prop_assert_eq!(2 * rs.effective_pairs() as u64, exact_r);
                 prop_assert!(rs.pool_invariant_holds());
+
+                // The sparse round engine's counted strata must add up to
+                // the same exact candidate count, its unscheduled slice
+                // can never exceed it, and the per-round pool partition
+                // must account for every remaining pair.
+                let rbp = rb.to_population();
+                let rbfs = rb.fault_state().expect("faulted").clone();
+                let (exact_q, _) = brute(&p, &rbp, &rbfs);
+                prop_assert_eq!(2 * rb.effective_pairs(), exact_q);
+                prop_assert!(rb.unscheduled_candidates() <= rb.effective_pairs());
+                prop_assert!(rb.pool_invariant_holds());
             }
         }
     }
@@ -900,6 +1078,43 @@ mod skip_schedule {
             let p_event = ke as f64 / m as f64;
             let p_bucket = (ke + extra) as f64 / m as f64;
             prop_assert!(geometric_skip(u, p_bucket) <= geometric_skip(u, p_event));
+        }
+
+        /// The geometric skip cache is bit-identical to the direct
+        /// inversion it replaces: on the cached domain (skips within the
+        /// table horizon) `lookup` returns *exactly*
+        /// `geometric_skip(unit_open01(raw), p)` — not an approximation —
+        /// and outside it returns `None` so the engine recomputes from
+        /// the same raw draw. Either way the engine's coin stream is
+        /// unchanged, which is what makes the cache invisible to every
+        /// equivalence test above.
+        #[test]
+        fn geo_cache_is_bit_identical_to_direct_inversion(
+            raw in any::<u64>(),
+            kp in 1u64..999,
+        ) {
+            let p = kp as f64 / 1000.0;
+            let cache = GeoSkipCache::build(p);
+            prop_assert_eq!(cache.p(), p);
+            let direct = geometric_skip(unit_open01(raw), p);
+            match cache.lookup(raw) {
+                Some(cached) => prop_assert_eq!(cached, direct, "cache diverges at raw={raw}"),
+                None => prop_assert!(
+                    direct > 63.0,
+                    "cache refused an in-horizon skip {direct} at raw={raw}"
+                ),
+            }
+        }
+
+        /// Small raw draws map deep into the tail (beyond the horizon of
+        /// 64), so the cache must decline them; the all-ones draw maps to
+        /// zero skips and must be served from the table.
+        #[test]
+        fn geo_cache_horizon_edges(kp in 1u64..200) {
+            let p = kp as f64 / 1000.0;
+            let cache = GeoSkipCache::build(p);
+            prop_assert_eq!(cache.lookup(u64::MAX), Some(0.0));
+            prop_assert_eq!(cache.lookup(0), None, "p={p} should overflow the horizon at u→0");
         }
 
         /// The two event engines' candidate-set sizes obey the superset
@@ -1068,5 +1283,151 @@ mod skip_schedule {
         // And the empirical mean sits near the geometric mean (1−p)/p.
         let mean = a.iter().sum::<f64>() / a.len() as f64;
         assert!((mean - (1.0 - p) / p).abs() < 4.0, "mean skip {mean}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched endgame absorption laws vs brute-force per-draw walks.
+// ---------------------------------------------------------------------
+
+mod endgame {
+    use netcon::core::seeds::derive2;
+    use netcon::core::walk::{exit_cdf, sample_absorption, survival, time_cap};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force per-draw DP: push the walker's distribution one ±1
+    /// step at a time on `0..=L` with absorbing barriers, accumulating
+    /// the mass absorbed at each end — the law the naive engines realize
+    /// coin by coin, and the ground truth for the closed forms.
+    fn brute_exit_cdf(z: usize, len: usize, t: u64) -> (f64, f64) {
+        let mut p = vec![0.0f64; len + 1];
+        p[z] = 1.0;
+        let (mut at0, mut atl) = (0.0, 0.0);
+        for _ in 0..t {
+            let mut q = vec![0.0f64; len + 1];
+            for x in 1..len {
+                q[x - 1] += p[x] * 0.5;
+                q[x + 1] += p[x] * 0.5;
+            }
+            at0 += q[0];
+            atl += q[len];
+            q[0] = 0.0;
+            q[len] = 0.0;
+            p = q;
+        }
+        (at0, atl)
+    }
+
+    proptest! {
+        /// In the exact-DP regime (t ≤ 1024) the closed-form exit CDF
+        /// must equal the brute-force per-draw DP to rounding.
+        #[test]
+        fn exit_cdf_matches_brute_force_dp(
+            len in 2usize..12,
+            z_seed in any::<u64>(),
+            t in 0u64..200,
+        ) {
+            let z = 1 + (z_seed as usize) % (len - 1);
+            let (b0, bl) = brute_exit_cdf(z, len, t);
+            prop_assert!((exit_cdf(z, len, true, t) - b0).abs() < 1e-12);
+            prop_assert!((exit_cdf(z, len, false, t) - bl).abs() < 1e-12);
+            let s = survival(z, len, t);
+            prop_assert!((s - (1.0 - b0 - bl)).abs() < 1e-12);
+        }
+
+        /// In the spectral regime (t > 1024) the truncated eigen-sum
+        /// must still match the same brute force — the tolerance covers
+        /// the documented e⁻⁴⁵ truncation, far below any statistical
+        /// resolution.
+        #[test]
+        fn spectral_exit_cdf_matches_brute_force_dp(
+            len in 8usize..32,
+            z_seed in any::<u64>(),
+            extra in 0u64..300,
+        ) {
+            let z = 1 + (z_seed as usize) % (len - 1);
+            let t = 1025 + extra;
+            let (b0, bl) = brute_exit_cdf(z, len, t);
+            prop_assert!((exit_cdf(z, len, true, t) - b0).abs() < 1e-9);
+            prop_assert!((exit_cdf(z, len, false, t) - bl).abs() < 1e-9);
+        }
+    }
+
+    /// Paired-stats check of the joint sampler on its batched path
+    /// (`len > 64`, where the engines replace per-draw coins with an
+    /// exit-side draw plus a CDF inversion): exit-side rate and mean
+    /// absorption time against a brute-force per-draw walk, plus the
+    /// exact structural facts — parity of the absorption time and the
+    /// documented time cap.
+    #[test]
+    fn batched_absorption_matches_per_draw_walk() {
+        let (len, z) = (80usize, 30usize);
+        let trials = 3_000u64;
+
+        let mut rng = SmallRng::seed_from_u64(derive2(909, len as u64, 0));
+        let mut b_exit0 = 0u64;
+        let mut b_times = Vec::with_capacity(trials as usize);
+        for _ in 0..trials {
+            let mut x = z;
+            let mut t = 0u64;
+            let exit0 = loop {
+                x = if rng.next_u64() & 1 == 0 { x - 1 } else { x + 1 };
+                t += 1;
+                if x == 0 {
+                    break true;
+                }
+                if x == len {
+                    break false;
+                }
+            };
+            b_exit0 += u64::from(exit0);
+            b_times.push(t as f64);
+        }
+
+        let mut rng = SmallRng::seed_from_u64(derive2(909, len as u64, 1));
+        let mut s_exit0 = 0u64;
+        let mut s_times = Vec::with_capacity(trials as usize);
+        for _ in 0..trials {
+            let (exit0, t) = sample_absorption(&mut rng, z, len);
+            assert!(t <= time_cap(len), "sampled time {t} beyond the cap");
+            let par = if exit0 { z as u64 } else { (len - z) as u64 };
+            assert_eq!(t % 2, par % 2, "absorption-time parity violated");
+            s_exit0 += u64::from(exit0);
+            s_times.push(t as f64);
+        }
+
+        // Exit-side rate: both estimates sit on the exact gambler's-ruin
+        // rational (L−z)/L, so their gap is binomial noise (σ ≈ 0.0125
+        // at 3000 trials; allow 4σ).
+        let (rb, rs) = (
+            b_exit0 as f64 / trials as f64,
+            s_exit0 as f64 / trials as f64,
+        );
+        let p0 = (len - z) as f64 / len as f64;
+        assert!((rb - p0).abs() < 0.05, "brute exit rate {rb} vs exact {p0}");
+        assert!((rs - p0).abs() < 0.05, "batched exit rate {rs} vs exact {p0}");
+
+        // Mean absorption time: Welch z within 4σ (E[T] = z(L−z) = 1500
+        // here; the relative sd is ≈ 80%, so 3000 paired trials resolve
+        // a few percent).
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let var = |v: &[f64], m: f64| {
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() - 1) as f64
+        };
+        let (mb, ms) = (mean(&b_times), mean(&s_times));
+        let (vb, vs) = (var(&b_times, mb), var(&s_times, ms));
+        let se = (vb / trials as f64 + vs / trials as f64).sqrt();
+        let zscore = (mb - ms) / se;
+        assert!(
+            zscore.abs() < 4.0,
+            "mean absorption times differ by {zscore:.1}σ (brute {mb:.0}, batched {ms:.0})"
+        );
+        let expect = (z * (len - z)) as f64;
+        assert!(
+            (ms - expect).abs() / expect < 0.10,
+            "batched mean {ms:.0} far from z(L−z) = {expect}"
+        );
     }
 }
