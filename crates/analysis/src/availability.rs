@@ -59,7 +59,11 @@ impl AvailabilityResult {
 ///
 /// `stable` is the protocol's fault-mode predicate (stability relative
 /// to the alive population), evaluated at the end of every inter-event
-/// window — see the [module docs](self) for why that is exact. After
+/// window — see the [module docs](self) for why that is exact. Windows
+/// are cut at [`FaultPlan::boundary_times`](netcon_core::FaultPlan::boundary_times),
+/// which covers scheduled events *and* adversary decision draws, so the
+/// estimator stays window-exact under an adaptive
+/// [`AdversaryPlan`](netcon_core::AdversaryPlan). After
 /// the last event the engine runs up to `max_steps` more draws for the
 /// repair phase; not re-stabilizing is reported as `repair: None`, not
 /// a panic (a protocol that cannot repair the final configuration is a
@@ -72,8 +76,9 @@ pub fn availability(
     stable: impl Fn(&EngineView<'_, CompiledTable>, &FaultState) -> bool,
     max_steps: u64,
 ) -> AvailabilityResult {
-    let mut times: Vec<u64> = plan.events().iter().map(|&(t, _)| t).collect();
-    times.dedup();
+    // Boundary times cover scheduled events *and* adversary decision
+    // draws, so each window is fault-free even under an adaptive plan.
+    let times: Vec<u64> = plan.boundary_times();
     let total_draws = times.last().copied().unwrap_or(0);
     let mut eng = Engine::auto_faulted(protocol.compile(), n, seed, plan);
     let mut available = 0u64;
@@ -193,6 +198,58 @@ mod tests {
             "a 2-state star at these gentle rates is mostly up: {r:?}"
         );
         assert!(r.repair.is_some(), "FT-star repairs the final burst");
+    }
+
+    #[test]
+    fn zero_length_horizon_is_defined_not_nan() {
+        // Regression: a plan whose only boundaries sit at draw 0 (or an
+        // empty plan) must report a defined fraction, never NaN from a
+        // 0/0 division.
+        let r = AvailabilityResult {
+            available_draws: 0,
+            total_draws: 0,
+            repair: None,
+        };
+        assert!(!r.fraction_available().is_nan());
+        assert!((r.fraction_available() - 1.0).abs() < f64::EPSILON);
+
+        // End-to-end: an adversary whose single decision draw is at 0
+        // yields a zero-length horizon through the real pipeline.
+        use netcon_core::{AdversaryPlan, AdversaryPolicy, Cadence, FaultPlan};
+        let plan = FaultPlan::new(11).with_adversary(
+            AdversaryPlan::new(Cadence::Burst(vec![0]))
+                .policy(AdversaryPolicy::CrashMaxDegree),
+        );
+        assert_eq!(plan.boundary_times(), vec![0]);
+        let r = availability(&star(), 8, 2, plan, star_stable, u64::MAX);
+        assert_eq!(r.total_draws, 0);
+        assert!(!r.fraction_available().is_nan());
+        assert!((r.fraction_available() - 1.0).abs() < f64::EPSILON);
+        assert!(r.repair.is_some(), "star repairs the draw-0 crash");
+    }
+
+    #[test]
+    fn adversary_decisions_cut_the_windows() {
+        use netcon_core::{AdversaryPlan, AdversaryPolicy, Cadence, FaultPlan};
+        let n = 10;
+        let plan = FaultPlan::new(5).with_adversary(
+            AdversaryPlan::new(Cadence::Periodic {
+                start: 20_000,
+                every: 20_000,
+                count: 4,
+            })
+            .policy(AdversaryPolicy::CrashMaxDegree)
+            .min_alive(5),
+        );
+        assert_eq!(plan.boundary_times().len(), 4);
+        let r = availability(&star(), n, 9, plan, star_stable, u64::MAX);
+        assert_eq!(r.total_draws, 80_000);
+        assert!(r.available_draws <= r.total_draws);
+        assert!(
+            r.fraction_available() > 0.0,
+            "the star re-forms between periodic centre crashes: {r:?}"
+        );
+        assert!(r.repair.is_some(), "FT-star repairs the final crash");
     }
 
     #[test]

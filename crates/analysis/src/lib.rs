@@ -13,6 +13,8 @@
 //! * [`availability`] — fraction-of-draws-stable under a sustained
 //!   [`ChurnPlan`](netcon_core::ChurnPlan) stream, plus
 //!   time-to-first-repair once the stream ends;
+//! * [`knee`] — availability-vs-fault-rate ladders (Poisson or
+//!   adaptive-adversarial) with two-segment log–log knee detection;
 //! * [`fit`] — least-squares log–log fits to estimate the polynomial
 //!   exponent of a measured time curve, with and without a `log n`
 //!   correction term.
@@ -37,6 +39,7 @@
 
 pub mod availability;
 pub mod fit;
+pub mod knee;
 pub mod repair;
 pub mod stats;
 pub mod sweep;

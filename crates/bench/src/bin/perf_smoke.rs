@@ -1,8 +1,9 @@
 //! Executes every bench target (not just compiles them) and writes
-//! `BENCH_PR9.json`: per-bench wall-clock, the engine speedup records
+//! `BENCH_PR10.json`: per-bench wall-clock, the engine speedup records
 //! (uniform *and* ShuffledRounds), per-engine measured memory, the
 //! fault-layer repair-time record (`perturbation_frontier`), the
-//! continuous-churn availability record (`churn_frontier`), and the
+//! continuous-churn availability record (`churn_frontier`), the
+//! adaptive-adversary knee record (`adversary_frontier`), and the
 //! frontier ladders — plus an optional regression gate against a
 //! committed baseline. `crates/bench/README.md` documents the JSON
 //! schema, the carry-forward rules, and the `--check` semantics.
@@ -10,17 +11,20 @@
 //! ```sh
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke
 //! NETCON_BENCH_SCALE=1 cargo run --release -p netcon-bench --bin perf_smoke -- \
-//!     --out bench-smoke.json --check BENCH_PR9.json   # CI gate
+//!     --out bench-smoke.json --check BENCH_PR10.json   # CI gate
 //! ```
 //!
 //! `NETCON_BENCH_SCALE` (percent) is inherited by the spawned bench
 //! processes and by the in-process engine measurement; CI uses the
 //! minimum (1) so the whole suite stays in smoke-test territory. The
-//! output path defaults to `BENCH_PR9.json` in the workspace root
-//! (`--out <path>` overrides). The `perturbation_frontier` and
-//! `churn_frontier` sections are cheap and always regenerated live;
-//! `NETCON_FAULT_SEVERITY` / `NETCON_FAULT_TRIALS` shape the fault
-//! burst, `NETCON_CHURN_RATE` / `NETCON_CHURN_TRIALS` the churn stream.
+//! output path defaults to `BENCH_PR10.json` in the workspace root
+//! (`--out <path>` overrides). The `perturbation_frontier`,
+//! `churn_frontier`, and `adversary_frontier` sections are cheap and
+//! always regenerated live; `NETCON_FAULT_SEVERITY` /
+//! `NETCON_FAULT_TRIALS` shape the fault burst, `NETCON_CHURN_RATE` /
+//! `NETCON_CHURN_TRIALS` the churn stream, and
+//! `NETCON_ADVERSARY_TRIALS` / `NETCON_ADVERSARY_HORIZON` the targeted
+//! strike ladder.
 //!
 //! `--check <baseline.json>` compares this run's per-bench wall-clock
 //! against the baseline's `benches` section and exits non-zero when any
@@ -47,6 +51,7 @@ use std::process::Command;
 use std::time::Instant;
 
 use netcon_analysis::availability::sweep_availability;
+use netcon_analysis::knee::{detect_knee, periodic_adversary_plan, sweep_availability_vs_rate};
 use netcon_analysis::repair::{sweep_repair_time, FaultSeverity};
 use netcon_analysis::sweep::SweepConfig;
 use netcon_bench::harness::scale;
@@ -54,8 +59,8 @@ use netcon_bench::speedup::{
     bucket_stats, compare_engines, compare_round_engines, Comparison,
 };
 use netcon_core::{
-    BucketSim, ChurnPlan, CompiledTable, EventSim, Link, ProtocolBuilder, RoundSim, Simulation,
-    SparsePop,
+    AdversaryPolicy, BucketSim, ChurnPlan, CompiledTable, EventSim, Link, ProtocolBuilder,
+    RoundSim, Simulation, SparsePop,
 };
 use netcon_protocols::{
     cycle_cover, fast_global_line, ft_line, ft_star, global_star, simple_global_line,
@@ -524,6 +529,96 @@ fn churn_frontier_section() -> String {
     s
 }
 
+/// The adaptive-adversary knee record:
+/// [`sweep_availability_vs_rate`] ladders for Global-Star vs
+/// FT-Global-Star under the targeted `CrashMaxDegree` cadence (the same
+/// pair, ladder, and seeds the `adversary_frontier` bench target
+/// asserts its guardrails on), with the two-segment log–log knee of
+/// each curve. Cheap at these sizes, so it regenerates live on every
+/// run, including CI's scale-1 smoke. `NETCON_ADVERSARY_TRIALS`
+/// overrides the trials per rung, `NETCON_ADVERSARY_HORIZON` the draws
+/// per measurement (default 40k).
+fn adversary_frontier_section() -> String {
+    let rates = [2.5e-5, 5e-5, 1e-4, 2e-4, 4e-4, 8e-4];
+    let trials = std::env::var("NETCON_ADVERSARY_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| scale(12).max(3));
+    let horizon: u64 = match std::env::var("NETCON_ADVERSARY_HORIZON") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid NETCON_ADVERSARY_HORIZON {s:?}: {e}")),
+        Err(_) => 40_000,
+    };
+    let (n, min_alive, max_steps) = (16usize, 8usize, 400_000u64);
+    let plan = |rate: f64, seed: u64, _n: usize| {
+        periodic_adversary_plan(rate, seed, horizon, &[AdversaryPolicy::CrashMaxDegree], min_alive)
+    };
+    let ft = sweep_availability_vs_rate(
+        &ft_star::protocol(),
+        n,
+        &rates,
+        trials,
+        131,
+        plan,
+        ft_star::is_stable_faulted,
+        max_steps,
+    );
+    let plain = sweep_availability_vs_rate(
+        &global_star::protocol(),
+        n,
+        &rates,
+        trials,
+        137,
+        plan,
+        global_star::is_stable_faulted,
+        max_steps,
+    );
+
+    let mut s = String::from("  \"adversary_frontier\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"mean fraction of draws with a stable output under the adaptive CrashMaxDegree cadence, vs strike rate (netcon_analysis::knee); regenerated live on every run — NETCON_ADVERSARY_TRIALS and NETCON_ADVERSARY_HORIZON shape it\","
+    );
+    let _ = writeln!(s, "    \"policy\": \"crash-max-degree\",");
+    let _ = writeln!(
+        s,
+        "    \"n\": {n},\n    \"min_alive\": {min_alive},\n    \"horizon_draws\": {horizon},\n    \"trials\": {trials},"
+    );
+    let mut first = true;
+    for (key, curve) in [("ft_global_star", &ft), ("global_star", &plain)] {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        let _ = writeln!(s, "    \"{key}\": {{\n      \"rows\": [");
+        for (i, p) in curve.iter().enumerate() {
+            let comma = if i + 1 < curve.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{ \"rate_per_draw\": {:e}, \"mean_fraction_available\": {:.4} }}{comma}",
+                p.rate, p.availability
+            );
+        }
+        s.push_str("      ],\n");
+        match detect_knee(curve) {
+            Some(k) => {
+                let _ = writeln!(
+                    s,
+                    "      \"knee\": {{ \"rate_per_draw\": {:e}, \"left_exponent\": {:.3}, \"right_exponent\": {:.3} }}",
+                    k.rate, k.left.exponent, k.right.exponent
+                );
+            }
+            None => {
+                let _ = writeln!(s, "      \"knee\": null");
+            }
+        }
+        let _ = write!(s, "    }}");
+    }
+    s.push_str("\n  }");
+    s
+}
+
 /// The frontier record: bucket-engine runs at n ∈ {20k, 50k, 100k}.
 /// ~15 minutes of single-core work — only under `NETCON_FRONTIER=1`.
 fn scaling_frontier_section() -> String {
@@ -644,7 +739,7 @@ fn main() {
         }
         (
             out.unwrap_or_else(|| {
-                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json")
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR10.json")
             }),
             check,
         )
@@ -782,9 +877,12 @@ fn main() {
     println!("==> churn frontier (availability under sustained Poisson churn)");
     let churn_section = churn_frontier_section();
 
+    println!("==> adversary frontier (availability vs targeted strike rate)");
+    let adversary_section = adversary_frontier_section();
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"pr\": 10,");
     let _ = writeln!(json, "  \"bench_scale_pct\": \"{scale_pct}\",");
     json.push_str("  \"benches\": [\n");
     for (i, (name, wall)) in rows.iter().enumerate() {
@@ -809,6 +907,8 @@ fn main() {
     json.push_str(&perturbation_section);
     json.push_str(",\n");
     json.push_str(&churn_section);
+    json.push_str(",\n");
+    json.push_str(&adversary_section);
     if let Some(section) = frontier {
         json.push_str(",\n");
         json.push_str(&section);

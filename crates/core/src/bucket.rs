@@ -60,7 +60,8 @@ use rand::{Rng, RngExt, SeedableRng};
 use crate::compiled::{EffectTable, EnumerableMachine};
 use crate::engine::{geometric_skip, unit_open01, GeoCacheSlot};
 use crate::event::EventStep;
-use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
+use crate::fault::adversary::ConfigSnapshot;
+use crate::fault::{sample_without_replacement, DueFault, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
 use crate::walk::{
     bridge_weights_with_future, h_step, sample_absorption, sample_binomial, sample_gamma,
@@ -1927,23 +1928,56 @@ impl<M: EnumerableMachine> BucketSim<M> {
         self.book.last_output_change = self.book.steps;
     }
 
-    /// Applies every plan event whose scheduled time is ≤ the current
-    /// step counter.
+    /// Normalizes the configuration for an adversary decision: dense
+    /// state indices plus the active-edge set read off the sparse
+    /// adjacency (the snapshot sorts, so iteration order is moot).
+    fn config_snapshot(&self) -> ConfigSnapshot {
+        let states = (0..self.sp.n()).map(|u| self.sp.state_index(u)).collect();
+        let mut edges = Vec::with_capacity(self.sp.active_count());
+        for u in 0..self.sp.n() {
+            edges.extend(self.sp.neighbors(u).filter(|&w| w > u).map(|w| (u, w)));
+        }
+        ConfigSnapshot::new(states, edges)
+    }
+
+    /// Applies everything due at the current step counter: scheduled
+    /// plan events in order, and adversary decisions resolved against
+    /// a fresh configuration snapshot.
     fn apply_due_faults(&mut self) {
+        let now = u64::try_from(self.book.steps).unwrap_or(u64::MAX);
         loop {
-            let resolved = match &mut self.faults {
-                Some(fs) if fs.next_at().is_some_and(|at| u128::from(at) <= self.book.steps) => {
-                    fs.resolve_next().expect("next_at implies a pending event")
+            let due = self.faults.as_ref().and_then(|fs| fs.due_fault(now));
+            match due {
+                Some(DueFault::Event) => {
+                    let resolved = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_next()
+                        .expect("due_fault implies a pending event");
+                    self.apply_resolved(resolved);
                 }
-                _ => return,
-            };
-            self.apply_resolved(resolved);
+                Some(DueFault::Decision) => {
+                    let snap = self.config_snapshot();
+                    let damage = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_due_decision(&snap);
+                    for resolved in damage {
+                        self.apply_resolved(resolved);
+                    }
+                }
+                None => return,
+            }
         }
     }
 
     /// Applies every remaining plan event *now*, regardless of its
     /// scheduled time (see
     /// [`Simulation::apply_faults_now`](crate::Simulation::apply_faults_now)).
+    /// Adversary decisions are *not* drained: they are tied to their
+    /// decision draws.
     ///
     /// # Panics
     ///

@@ -48,6 +48,10 @@ use rand::{Rng, RngExt, SeedableRng};
 
 use crate::seeds;
 
+pub mod adversary;
+
+use adversary::{AdversaryPlan, ConfigSnapshot};
+
 /// A single scheduled fault/churn event of a [`FaultPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultEvent {
@@ -96,6 +100,11 @@ pub struct FaultPlan {
     seed: u64,
     /// `(time, event)`, sorted by time, stable under insertion order.
     events: Vec<(u64, FaultEvent)>,
+    /// Optional configuration-adaptive adversary riding the plan.
+    adversary: Option<AdversaryPlan>,
+    /// Optional alive-count floor enforced at resolution time: crash
+    /// events (scheduled or adversarial) that would breach it no-op.
+    min_alive: Option<usize>,
 }
 
 impl FaultPlan {
@@ -106,6 +115,8 @@ impl FaultPlan {
         Self {
             seed,
             events: Vec::new(),
+            adversary: None,
+            min_alive: None,
         }
     }
 
@@ -127,7 +138,63 @@ impl FaultPlan {
     #[must_use]
     pub fn from_events(seed: u64, mut events: Vec<(u64, FaultEvent)>) -> Self {
         events.sort_by_key(|&(t, _)| t);
-        Self { seed, events }
+        Self {
+            seed,
+            events,
+            adversary: None,
+            min_alive: None,
+        }
+    }
+
+    /// Attaches a configuration-adaptive [`AdversaryPlan`]: every
+    /// faulted engine pauses at its decision draws, snapshots the live
+    /// configuration, and applies the policies' damage through the
+    /// ordinary resolved-fault path (builder style). See
+    /// [`adversary`] for the exactness argument.
+    #[must_use]
+    pub fn with_adversary(mut self, adv: AdversaryPlan) -> Self {
+        self.adversary = Some(adv);
+        self
+    }
+
+    /// The attached adversary, if any.
+    #[must_use]
+    pub fn adversary(&self) -> Option<&AdversaryPlan> {
+        self.adversary.as_ref()
+    }
+
+    /// Sets a plan-wide alive-count floor (builder style): any crash —
+    /// a scheduled [`FaultEvent::CrashRandom`]/[`FaultEvent::Crash`]
+    /// *or* an adversarial one — that would take the alive count to or
+    /// below `floor` resolves to a no-op. [`ChurnPlan::min_alive`]
+    /// sets this automatically on its compiled plans, so a churn
+    /// stream's floor survives composition with an adversary (whose
+    /// extra crashes the stream generator could not anticipate).
+    #[must_use]
+    pub fn with_min_alive(mut self, floor: usize) -> Self {
+        self.min_alive = Some(floor);
+        self
+    }
+
+    /// The plan-wide alive-count floor, if set.
+    #[must_use]
+    pub fn min_alive(&self) -> Option<usize> {
+        self.min_alive
+    }
+
+    /// Every draw index at which this plan can act: scheduled event
+    /// times merged with the adversary's decision times, sorted and
+    /// deduplicated — the window boundaries an availability analysis
+    /// segments a run at.
+    #[must_use]
+    pub fn boundary_times(&self) -> Vec<u64> {
+        let mut times: Vec<u64> = self.events.iter().map(|&(t, _)| t).collect();
+        if let Some(adv) = &self.adversary {
+            times.extend(adv.decision_times());
+        }
+        times.sort_unstable();
+        times.dedup();
+        times
     }
 
     /// The scheduled `(time, event)` pairs, sorted by time.
@@ -207,7 +274,20 @@ impl FaultPlan {
 ///     .horizon(100_000)
 ///     .compile(20);
 /// assert!(plan.events().iter().all(|&(t, _)| t < 100_000));
+/// assert_eq!(plan.min_alive(), Some(8)); // the floor rides the plan
 /// // Same knobs + seed ⇒ the identical plan, on every engine.
+/// ```
+///
+/// A positive rate with the default horizon of 0 is a hard error —
+/// [`compile`](Self::compile) panics rather than silently emitting an
+/// empty plan:
+///
+/// ```should_panic
+/// use netcon_core::ChurnPlan;
+///
+/// // Forgot `.horizon(...)`: this panics instead of compiling to
+/// // a no-op stream.
+/// let _ = ChurnPlan::new(42).arrival_rate(0.5).compile(8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnPlan {
@@ -281,7 +361,10 @@ impl ChurnPlan {
     ///
     /// # Panics
     ///
-    /// Panics if either rate is negative or non-finite.
+    /// Panics if either rate is negative or non-finite, or if a rate
+    /// is positive while the horizon is 0 — a positive-rate stream
+    /// with no horizon would silently compile to an empty plan (the
+    /// default horizon is 0, so this is an easy knob to forget).
     #[must_use]
     pub fn compile(&self, base_n: usize) -> FaultPlan {
         assert!(
@@ -293,8 +376,13 @@ impl ChurnPlan {
             "departure rate must be finite and non-negative"
         );
         let total = self.arrival_rate + self.departure_rate;
+        assert!(
+            total == 0.0 || self.horizon > 0,
+            "positive churn rate with a zero horizon: set `.horizon(draws)` \
+             (a bounded horizon is what sizes the draw-space capacity)"
+        );
         let mut events = Vec::new();
-        if total > 0.0 && self.horizon > 0 {
+        if total > 0.0 {
             let mut rng = SmallRng::seed_from_u64(self.seed);
             let floor = self.min_alive.unwrap_or(0);
             let mut alive = base_n;
@@ -315,7 +403,9 @@ impl ChurnPlan {
                 }
             }
         }
-        FaultPlan::from_events(self.seed, events)
+        let mut plan = FaultPlan::from_events(self.seed, events);
+        plan.min_alive = self.min_alive;
+        plan
     }
 }
 
@@ -371,6 +461,22 @@ pub struct FaultState {
     /// Next ghost slot an `Arrive` event will occupy.
     next_arrival: usize,
     base_n: usize,
+    /// Adversary decisions taken so far (indexes the cadence).
+    decided: u32,
+    /// Adversary damage budget spent so far.
+    adv_spent: u64,
+}
+
+/// What kind of fault is due at the current draw — how an engine
+/// decides between resolving a scheduled plan event (no engine input
+/// needed) and an adversary decision (needs a configuration
+/// snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DueFault {
+    /// The next scheduled plan event is due.
+    Event,
+    /// An adversary decision draw is due.
+    Decision,
 }
 
 impl FaultState {
@@ -395,6 +501,8 @@ impl FaultState {
             alive_count: base_n,
             next_arrival: base_n,
             base_n,
+            decided: 0,
+            adv_spent: 0,
         }
     }
 
@@ -435,10 +543,87 @@ impl FaultState {
         self.applied
     }
 
-    /// The scheduled time of the next unapplied event, if any.
+    /// The draw index at which this state next has to act: the
+    /// earlier of the next unapplied plan event and the next pending
+    /// adversary decision, if either exists. Engines pause their skip
+    /// machinery at exactly these times, so adversary decisions
+    /// inherit the plan events' stop/resume exactness for free.
     #[must_use]
     pub fn next_at(&self) -> Option<u64> {
+        match (self.next_event_at(), self.next_decision_at()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The scheduled time of the next unapplied plan event, if any.
+    fn next_event_at(&self) -> Option<u64> {
         self.plan.events.get(self.applied).map(|&(t, _)| t)
+    }
+
+    /// The time of the next pending adversary decision: `None` once
+    /// the cadence is exhausted or the damage budget is spent (spent
+    /// budgets *cancel* remaining decisions, so a budget-capped
+    /// adversary never blocks endgame optimizations forever).
+    fn next_decision_at(&self) -> Option<u64> {
+        let adv = self.plan.adversary.as_ref()?;
+        if adv.budget_limit().is_some_and(|b| self.adv_spent >= b) {
+            return None;
+        }
+        adv.cadence().decision_time(self.decided)
+    }
+
+    /// Adversary decisions taken so far.
+    #[must_use]
+    pub fn decisions_taken(&self) -> u32 {
+        self.decided
+    }
+
+    /// Adversary damage budget spent so far (1 per crash or edge
+    /// deletion).
+    #[must_use]
+    pub fn adversary_spent(&self) -> u64 {
+        self.adv_spent
+    }
+
+    /// What is due at draw `now`, if anything. Plan events win ties:
+    /// an adversary deciding at the same draw as a churn event reacts
+    /// to it rather than racing it (and the choice is the same on
+    /// every engine, which is all exactness needs).
+    pub(crate) fn due_fault(&self, now: u64) -> Option<DueFault> {
+        let ev = self.next_event_at().filter(|&t| t <= now);
+        let dec = self.next_decision_at().filter(|&t| t <= now);
+        match (ev, dec) {
+            (Some(te), Some(td)) if td < te => Some(DueFault::Decision),
+            (Some(_), _) => Some(DueFault::Event),
+            (None, Some(_)) => Some(DueFault::Decision),
+            (None, None) => None,
+        }
+    }
+
+    /// Resolves the pending adversary decision against `snap` (the
+    /// engine's normalized configuration): runs the policies, flips
+    /// alive flags for the crashes they emit, and returns the damage
+    /// for the engine to apply in order. Consumes exactly one
+    /// decision index even when every policy no-ops.
+    pub(crate) fn resolve_due_decision(&mut self, snap: &ConfigSnapshot) -> Vec<ResolvedFault> {
+        let Some(adv) = self.plan.adversary.as_ref() else {
+            return Vec::new();
+        };
+        self.decided += 1;
+        let budget_left = adv
+            .budget_limit()
+            .map_or(u64::MAX, |b| b.saturating_sub(self.adv_spent));
+        let (damage, spent) = adversary::resolve_decision(
+            adv,
+            snap,
+            &mut self.alive,
+            &mut self.alive_count,
+            self.plan.min_alive,
+            budget_left,
+        );
+        self.adv_spent += spent;
+        damage
     }
 
     /// Resolves the next unapplied event: draws its private randomness,
@@ -448,9 +633,10 @@ impl FaultState {
         let i = self.applied;
         let &(_, event) = self.plan.events.get(i)?;
         self.applied += 1;
+        let floor_blocked = self.plan.min_alive.is_some_and(|f| self.alive_count <= f);
         Some(match event {
             FaultEvent::CrashRandom => {
-                if self.alive_count == 0 {
+                if self.alive_count == 0 || floor_blocked {
                     ResolvedFault::Noop
                 } else {
                     let mut rng = self.plan.event_rng(i);
@@ -470,7 +656,7 @@ impl FaultState {
             }
             FaultEvent::Crash(u) => {
                 let u = u as usize;
-                if u < self.alive.len() && self.alive[u] {
+                if u < self.alive.len() && self.alive[u] && !floor_blocked {
                     self.alive[u] = false;
                     self.alive_count -= 1;
                     ResolvedFault::Crash(u)
@@ -502,9 +688,15 @@ impl FaultState {
     }
 
     /// Replays the whole plan without an engine and returns the final
-    /// state — valid because alive-set evolution never depends on run
-    /// state. Useful for sizing alive-aware stable predicates up
-    /// front.
+    /// state — valid because scheduled-event alive evolution never
+    /// depends on run state. Useful for sizing alive-aware stable
+    /// predicates up front.
+    ///
+    /// Plans with an [`adversary`](FaultPlan::adversary) attached lose
+    /// this property: adversarial damage inspects the configuration,
+    /// so the projection replays *only* the scheduled events. For an
+    /// adversarial run, read the engine's live fault state after the
+    /// run instead.
     #[must_use]
     pub fn project_final(&self) -> FaultState {
         let mut fs = self.clone();
@@ -728,9 +920,108 @@ mod tests {
     }
 
     #[test]
-    fn churn_zero_rate_or_horizon_is_empty() {
+    fn churn_zero_rate_is_empty() {
         assert!(ChurnPlan::new(1).horizon(10_000).compile(8).is_empty());
-        assert!(ChurnPlan::new(1).arrival_rate(0.5).compile(8).is_empty());
+        // Zero rates with a zero horizon are fine too — nothing was
+        // asked for, nothing is forgotten.
+        assert!(ChurnPlan::new(1).compile(8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive churn rate with a zero horizon")]
+    fn churn_positive_rate_needs_a_horizon() {
+        // Regression for the zero-horizon footgun: this used to
+        // silently compile to an empty plan.
+        let _ = ChurnPlan::new(1).arrival_rate(0.5).compile(8);
+    }
+
+    #[test]
+    fn plan_floor_blocks_scheduled_crashes() {
+        // Both CrashRandom and targeted Crash refuse to breach the
+        // plan-level floor (the composition guard for churn streams
+        // running under an adversary).
+        let plan = FaultPlan::new(3)
+            .at(1, FaultEvent::CrashRandom)
+            .at(2, FaultEvent::Crash(2))
+            .at(3, FaultEvent::CrashRandom)
+            .with_min_alive(3);
+        let mut fs = FaultState::new(plan, 4);
+        assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Crash(_))));
+        assert_eq!(fs.alive_count(), 3, "first crash is above the floor");
+        assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Noop)));
+        assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Noop)));
+        assert_eq!(fs.alive_count(), 3, "floor held");
+    }
+
+    #[test]
+    fn churn_compile_carries_the_floor_onto_the_plan() {
+        let plan = ChurnPlan::new(5)
+            .departure_rate(1e-3)
+            .min_alive(6)
+            .horizon(10_000)
+            .compile(10);
+        assert_eq!(plan.min_alive(), Some(6));
+        assert_eq!(
+            ChurnPlan::new(5).departure_rate(1e-3).horizon(10_000).compile(10).min_alive(),
+            None
+        );
+    }
+
+    #[test]
+    fn adversary_times_merge_into_next_at_and_boundaries() {
+        use super::adversary::{AdversaryPlan, AdversaryPolicy, Cadence, ConfigSnapshot};
+
+        let adv = AdversaryPlan::new(Cadence::burst(vec![15, 40]))
+            .policy(AdversaryPolicy::CrashMaxDegree);
+        let plan = FaultPlan::new(9)
+            .at(10, FaultEvent::CrashRandom)
+            .at(20, FaultEvent::Arrive)
+            .with_adversary(adv);
+        assert_eq!(plan.boundary_times(), vec![10, 15, 20, 40]);
+        let mut fs = FaultState::new(plan, 6);
+        assert_eq!(fs.next_at(), Some(10));
+        assert_eq!(fs.due_fault(9), None);
+        assert_eq!(fs.due_fault(12), Some(DueFault::Event));
+        // With both due, the earlier one wins; at a tie the plan
+        // event does.
+        assert_eq!(fs.due_fault(u64::MAX), Some(DueFault::Event));
+        assert!(matches!(fs.resolve_next(), Some(ResolvedFault::Crash(_))));
+        assert_eq!(fs.next_at(), Some(15), "decision now leads");
+        assert_eq!(fs.due_fault(15), Some(DueFault::Decision));
+        // Resolving the decision against a snapshot consumes exactly
+        // one decision index and flips the victim's alive flag.
+        let states = vec![0usize; fs.capacity()];
+        let snap = ConfigSnapshot::new(states, vec![(0, 1)]);
+        let before = fs.alive_count();
+        let damage = fs.resolve_due_decision(&snap);
+        assert_eq!(damage.len(), 1);
+        assert_eq!(fs.decisions_taken(), 1);
+        assert_eq!(fs.adversary_spent(), 1);
+        assert_eq!(fs.alive_count(), before - 1);
+        assert_eq!(fs.next_at(), Some(20), "back to the plan event");
+    }
+
+    #[test]
+    fn spent_budget_cancels_remaining_decisions() {
+        use super::adversary::{AdversaryPlan, AdversaryPolicy, Cadence, ConfigSnapshot};
+
+        let adv = AdversaryPlan::new(Cadence::Periodic {
+            start: 5,
+            every: 5,
+            count: 100,
+        })
+        .policy(AdversaryPolicy::CrashMaxDegree)
+        .budget(1);
+        let mut fs = FaultState::new(FaultPlan::new(2).with_adversary(adv), 4);
+        assert_eq!(fs.next_at(), Some(5));
+        let snap = ConfigSnapshot::new(vec![0; 4], Vec::<(usize, usize)>::new());
+        let damage = fs.resolve_due_decision(&snap);
+        assert_eq!(damage.len(), 1);
+        assert_eq!(
+            fs.next_at(),
+            None,
+            "budget spent: the other 99 decisions vanish, unblocking endgames"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@
 //! * [`fault`] — [`FaultPlan`] / [`FaultState`] / [`ChurnPlan`], the
 //!   deterministic seed-derived fault/churn layer (crashes, arrivals,
 //!   edge deletions, sustained Poisson churn, crash notifications)
-//!   shared by all five engines with exact candidate reclassification.
+//!   shared by all five engines with exact candidate reclassification;
+//! * [`fault::adversary`] — [`AdversaryPlan`] / [`AdversaryPolicy`] /
+//!   [`Cadence`], the configuration-adaptive worst-case layer: targeted
+//!   damage decided at scheduled draws against the live configuration,
+//!   applied through the same resolved-fault path on every engine.
 //!
 //! # Choosing an engine
 //!
@@ -122,6 +126,7 @@ pub use engine::{
     unit_open01, GeoSkipCache, PairSet,
 };
 pub use event::{EventSim, EventStep};
+pub use fault::adversary::{AdversaryPlan, AdversaryPolicy, Cadence};
 pub use fault::{ChurnPlan, FaultEvent, FaultPlan, FaultState};
 pub use round::RoundSim;
 pub use round_bucket::RoundBucketSim;

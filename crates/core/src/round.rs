@@ -86,7 +86,8 @@ use crate::engine::{
     EffectIndex, PairSet,
 };
 use crate::event::EventStep;
-use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
+use crate::fault::adversary::ConfigSnapshot;
+use crate::fault::{sample_without_replacement, DueFault, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
 use crate::{Link, Population};
 
@@ -885,23 +886,53 @@ impl<M: EnumerableMachine> RoundSim<M> {
         }
     }
 
-    /// Applies every plan event whose scheduled time is ≤ the current
-    /// step counter.
+    /// Normalizes the configuration for an adversary decision: dense
+    /// state indices plus the active-edge set.
+    fn config_snapshot(&self) -> ConfigSnapshot {
+        let states = (0..self.pop.n()).map(|u| self.index.state_index(u)).collect();
+        ConfigSnapshot::new(states, self.pop.edges().active_edges())
+    }
+
+    /// Applies everything due at the current step counter: scheduled
+    /// plan events in order, and adversary decisions resolved against
+    /// a fresh configuration snapshot.
     fn apply_due_faults(&mut self) {
         loop {
-            let resolved = match &mut self.faults {
-                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
-                    fs.resolve_next().expect("next_at implies a pending event")
+            let due = self
+                .faults
+                .as_ref()
+                .and_then(|fs| fs.due_fault(self.book.steps));
+            match due {
+                Some(DueFault::Event) => {
+                    let resolved = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_next()
+                        .expect("due_fault implies a pending event");
+                    self.apply_resolved(resolved);
                 }
-                _ => return,
-            };
-            self.apply_resolved(resolved);
+                Some(DueFault::Decision) => {
+                    let snap = self.config_snapshot();
+                    let damage = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_due_decision(&snap);
+                    for resolved in damage {
+                        self.apply_resolved(resolved);
+                    }
+                }
+                None => return,
+            }
         }
     }
 
     /// Applies every remaining plan event *now*, regardless of its
     /// scheduled time (see
     /// [`Simulation::apply_faults_now`](crate::Simulation::apply_faults_now)).
+    /// Adversary decisions are *not* drained: they are tied to their
+    /// decision draws.
     ///
     /// # Panics
     ///

@@ -94,7 +94,8 @@ use crate::bucket::SparsePop;
 use crate::compiled::{EffectTable, EnumerableMachine};
 use crate::engine::{hypergeometric_count_large, hypergeometric_skip, unit_open01, Bookkeeping};
 use crate::event::EventStep;
-use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
+use crate::fault::adversary::ConfigSnapshot;
+use crate::fault::{sample_without_replacement, DueFault, FaultPlan, FaultState, ResolvedFault};
 use crate::sim::{RunOutcome, StepResult};
 use crate::{Link, Population};
 
@@ -1593,23 +1594,58 @@ impl<M: EnumerableMachine> RoundBucketSim<M> {
         self.recompute_x(u, v);
     }
 
-    /// Applies every plan event whose scheduled time is ≤ the current
-    /// step counter.
+    /// Normalizes the configuration for an adversary decision: dense
+    /// state indices plus the active-edge set read off the sparse
+    /// adjacency (the snapshot sorts, so iteration order is moot).
+    fn config_snapshot(&self) -> ConfigSnapshot {
+        let states = (0..self.sp.n()).map(|u| self.sp.state_index(u)).collect();
+        let mut edges = Vec::with_capacity(self.sp.active_count());
+        for u in 0..self.sp.n() {
+            edges.extend(self.sp.neighbors(u).filter(|&w| w > u).map(|w| (u, w)));
+        }
+        ConfigSnapshot::new(states, edges)
+    }
+
+    /// Applies everything due at the current step counter: scheduled
+    /// plan events in order, and adversary decisions resolved against
+    /// a fresh configuration snapshot.
     fn apply_due_faults(&mut self) {
         loop {
-            let resolved = match &mut self.faults {
-                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
-                    fs.resolve_next().expect("next_at implies a pending event")
+            let due = self
+                .faults
+                .as_ref()
+                .and_then(|fs| fs.due_fault(self.book.steps));
+            match due {
+                Some(DueFault::Event) => {
+                    let resolved = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_next()
+                        .expect("due_fault implies a pending event");
+                    self.apply_resolved(resolved);
                 }
-                _ => return,
-            };
-            self.apply_resolved(resolved);
+                Some(DueFault::Decision) => {
+                    let snap = self.config_snapshot();
+                    let damage = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_due_decision(&snap);
+                    for resolved in damage {
+                        self.apply_resolved(resolved);
+                    }
+                }
+                None => return,
+            }
         }
     }
 
     /// Applies every remaining plan event *now*, regardless of its
     /// scheduled time (see
     /// [`Simulation::apply_faults_now`](crate::Simulation::apply_faults_now)).
+    /// Adversary decisions are *not* drained: they are tied to their
+    /// decision draws.
     ///
     /// # Panics
     ///

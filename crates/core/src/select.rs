@@ -541,7 +541,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
     /// Runs a faulted execution to stability: the selected engine's
     /// `run_faulted_until`, with the predicate reading the engine view
     /// plus the fault state. Identical semantics on every arm; the
-    /// predicate is not consulted while plan events are pending.
+    /// predicate is not consulted while plan events or adversary
+    /// decisions are pending.
     ///
     /// # Panics
     ///
@@ -571,8 +572,8 @@ impl<M: EnumerableMachine + Clone> Engine<M> {
         }
     }
 
-    /// Advances to exactly `target` total steps, applying plan events at
-    /// their scheduled times on the way.
+    /// Advances to exactly `target` total steps, applying plan events
+    /// and adversary decisions at their scheduled times on the way.
     ///
     /// # Panics
     ///

@@ -14,7 +14,8 @@ use rand::SeedableRng;
 
 use crate::compiled::EnumerableMachine;
 use crate::engine::{Bookkeeping, EffectIndex, PairSet};
-use crate::fault::{sample_without_replacement, FaultPlan, FaultState, ResolvedFault};
+use crate::fault::adversary::ConfigSnapshot;
+use crate::fault::{sample_without_replacement, DueFault, FaultPlan, FaultState, ResolvedFault};
 use crate::{Link, Machine, Population, Scheduler, Uniform};
 
 /// The result of a single simulation step.
@@ -479,115 +480,6 @@ impl<M: Machine, S: Scheduler> Simulation<M, S> {
         }
     }
 
-    /// Applies every plan event whose scheduled time is ≤ the current
-    /// step counter.
-    fn apply_due_faults(&mut self) {
-        loop {
-            let resolved = match &mut self.faults {
-                Some(fs) if fs.next_at().is_some_and(|at| at <= self.book.steps) => {
-                    fs.resolve_next().expect("next_at implies a pending event")
-                }
-                _ => return,
-            };
-            self.apply_resolved(resolved);
-        }
-    }
-
-    /// Applies every remaining plan event *now*, regardless of its
-    /// scheduled time — how `analysis::repair_time` perturbs a network
-    /// the moment it stabilizes (the stabilization step is random, so
-    /// no draw-indexed time could express "right after stabilizing").
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulation has no fault plan.
-    pub fn apply_faults_now(&mut self) {
-        assert!(self.faults.is_some(), "apply_faults_now needs a fault plan");
-        loop {
-            let Some(resolved) = self.faults.as_mut().and_then(FaultState::resolve_next) else {
-                return;
-            };
-            self.apply_resolved(resolved);
-        }
-    }
-
-    /// Advances to exactly `target` total steps, applying plan events
-    /// at their scheduled times on the way. Stopping at any step and
-    /// resuming is coin-for-coin identical to running through (the
-    /// naive loop consumes its draws one by one either way).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulation has no fault plan.
-    pub fn run_faulted_to(&mut self, target: u64) {
-        assert!(self.faults.is_some(), "run_faulted_to needs a fault plan");
-        self.apply_due_faults();
-        loop {
-            let next = self.faults.as_ref().and_then(FaultState::next_at);
-            match next {
-                Some(at) if at <= target => {
-                    self.run_for(at.saturating_sub(self.book.steps));
-                    self.apply_due_faults();
-                }
-                _ => {
-                    self.run_for(target.saturating_sub(self.book.steps));
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Runs a faulted execution to stability: applies plan events at
-    /// their scheduled times, then (once the plan is exhausted) runs
-    /// until `stable` holds or `max_steps` is reached. The predicate
-    /// receives the configuration *and* the fault state — stability
-    /// under churn is a property of the alive subpopulation, which the
-    /// configuration alone cannot express. It is deliberately not
-    /// consulted while plan events are still pending: a network that
-    /// looks stable before its last fault is not stable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulation has no fault plan.
-    pub fn run_faulted_until(
-        &mut self,
-        mut stable: impl FnMut(&Population<M::State>, &FaultState) -> bool,
-        max_steps: u64,
-    ) -> RunOutcome {
-        assert!(self.faults.is_some(), "run_faulted_until needs a fault plan");
-        self.apply_due_faults();
-        loop {
-            let next = self.faults.as_ref().and_then(FaultState::next_at);
-            match next {
-                Some(at) if at <= max_steps => {
-                    self.run_for(at.saturating_sub(self.book.steps));
-                    self.apply_due_faults();
-                }
-                Some(_) => {
-                    self.run_for(max_steps.saturating_sub(self.book.steps));
-                    return RunOutcome::MaxSteps {
-                        steps: self.book.steps,
-                    };
-                }
-                None => break,
-            }
-        }
-        let fs = self.faults.as_ref().expect("asserted above");
-        if stable(&self.pop, fs) {
-            return self.book.stabilized_now();
-        }
-        while self.book.steps < max_steps {
-            if self.step().is_effective()
-                && stable(&self.pop, self.faults.as_ref().expect("asserted above"))
-            {
-                return self.book.stabilized_now();
-            }
-        }
-        RunOutcome::MaxSteps {
-            steps: self.book.steps,
-        }
-    }
-
     /// Whether no pair of nodes has any effective interaction — the
     /// strongest form of stability.
     ///
@@ -719,6 +611,151 @@ impl<M: EnumerableMachine, S: Scheduler> Simulation<M, S> {
     #[must_use]
     pub fn effective_pairs(&self) -> Option<usize> {
         self.tracker.as_ref().map(|t| t.pairs.len())
+    }
+
+    /// Normalizes the configuration for an adversary decision: dense
+    /// state indices plus the active-edge set (the dense-index
+    /// requirement is why the faulted run loops live under the
+    /// [`EnumerableMachine`] bound).
+    fn config_snapshot(&self) -> ConfigSnapshot {
+        let states = (0..self.pop.n())
+            .map(|u| self.machine.state_index(self.pop.state(u)))
+            .collect();
+        ConfigSnapshot::new(states, self.pop.edges().active_edges())
+    }
+
+    /// Applies everything due at the current step counter: scheduled
+    /// plan events in order, and adversary decisions resolved against
+    /// a fresh configuration snapshot.
+    fn apply_due_faults(&mut self) {
+        loop {
+            let due = self
+                .faults
+                .as_ref()
+                .and_then(|fs| fs.due_fault(self.book.steps));
+            match due {
+                Some(DueFault::Event) => {
+                    let resolved = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_next()
+                        .expect("due_fault implies a pending event");
+                    self.apply_resolved(resolved);
+                }
+                Some(DueFault::Decision) => {
+                    let snap = self.config_snapshot();
+                    let damage = self
+                        .faults
+                        .as_mut()
+                        .expect("due implies a plan")
+                        .resolve_due_decision(&snap);
+                    for resolved in damage {
+                        self.apply_resolved(resolved);
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Applies every remaining plan event *now*, regardless of its
+    /// scheduled time — how `analysis::repair_time` perturbs a network
+    /// the moment it stabilizes (the stabilization step is random, so
+    /// no draw-indexed time could express "right after stabilizing").
+    /// Adversary decisions are *not* drained: they are tied to their
+    /// decision draws (an adversary cannot act early).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has no fault plan.
+    pub fn apply_faults_now(&mut self) {
+        assert!(self.faults.is_some(), "apply_faults_now needs a fault plan");
+        loop {
+            let Some(resolved) = self.faults.as_mut().and_then(FaultState::resolve_next) else {
+                return;
+            };
+            self.apply_resolved(resolved);
+        }
+    }
+
+    /// Advances to exactly `target` total steps, applying plan events
+    /// and adversary decisions at their scheduled times on the way.
+    /// Stopping at any step and resuming is coin-for-coin identical to
+    /// running through (the naive loop consumes its draws one by one
+    /// either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has no fault plan.
+    pub fn run_faulted_to(&mut self, target: u64) {
+        assert!(self.faults.is_some(), "run_faulted_to needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= target => {
+                    self.run_for(at.saturating_sub(self.book.steps));
+                    self.apply_due_faults();
+                }
+                _ => {
+                    self.run_for(target.saturating_sub(self.book.steps));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs a faulted execution to stability: applies plan events and
+    /// adversary decisions at their scheduled times, then (once both
+    /// are exhausted) runs until `stable` holds or `max_steps` is
+    /// reached. The predicate receives the configuration *and* the
+    /// fault state — stability under churn is a property of the alive
+    /// subpopulation, which the configuration alone cannot express. It
+    /// is deliberately not consulted while plan events or decisions
+    /// are still pending: a network that looks stable before its last
+    /// fault is not stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has no fault plan.
+    pub fn run_faulted_until(
+        &mut self,
+        mut stable: impl FnMut(&Population<M::State>, &FaultState) -> bool,
+        max_steps: u64,
+    ) -> RunOutcome {
+        assert!(self.faults.is_some(), "run_faulted_until needs a fault plan");
+        self.apply_due_faults();
+        loop {
+            let next = self.faults.as_ref().and_then(FaultState::next_at);
+            match next {
+                Some(at) if at <= max_steps => {
+                    self.run_for(at.saturating_sub(self.book.steps));
+                    self.apply_due_faults();
+                }
+                Some(_) => {
+                    self.run_for(max_steps.saturating_sub(self.book.steps));
+                    return RunOutcome::MaxSteps {
+                        steps: self.book.steps,
+                    };
+                }
+                None => break,
+            }
+        }
+        let fs = self.faults.as_ref().expect("asserted above");
+        if stable(&self.pop, fs) {
+            return self.book.stabilized_now();
+        }
+        while self.book.steps < max_steps {
+            if self.step().is_effective()
+                && stable(&self.pop, self.faults.as_ref().expect("asserted above"))
+            {
+                return self.book.stabilized_now();
+            }
+        }
+        RunOutcome::MaxSteps {
+            steps: self.book.steps,
+        }
     }
 }
 

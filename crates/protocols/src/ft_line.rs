@@ -231,6 +231,51 @@ mod tests {
     }
 
     #[test]
+    fn cut_at_walker_is_outside_the_crash_model_and_strands_the_walk() {
+        // The notify map repairs *crashes*: a lost neighbour tells a
+        // node its new degree. Edge deletions carry no notification,
+        // and an adaptive adversary that severs the line exactly at a
+        // live walker exploits that: the walker keeps state `w` at
+        // degree 0, no rule ever creates an edge at a `w` (every
+        // edge-creating rule needs `q0` or `l`), and no notification
+        // can reach a node with no neighbours — so the survivors can
+        // never span. FT-line is fault-tolerant strictly within the
+        // crash model of 1903.05992.
+        use netcon_core::{AdversaryPlan, AdversaryPolicy, Cadence};
+        let n = 12;
+        let plan = FaultPlan::new(5).with_adversary(
+            AdversaryPlan::new(Cadence::Periodic {
+                start: 40,
+                every: 40,
+                count: 1500,
+            })
+            .policy(AdversaryPolicy::CutAtWalker(W.index())),
+        );
+        let mut eng = Engine::auto_faulted(protocol().compile(), n, 9, plan);
+        eng.run_faulted_to(40 * 1500);
+        let fs = eng.fault_state().expect("faulted").clone();
+        assert_eq!(fs.next_at(), None, "all decisions taken");
+        assert!(
+            fs.adversary_spent() >= 2,
+            "a strike caught a live walker (2 severed edges), spent {}",
+            fs.adversary_spent()
+        );
+        assert_eq!(fs.alive_count(), n, "edge cuts crash nobody");
+        let now = eng.steps();
+        assert!(
+            eng.run_faulted_until(|v, _| is_stable_faulted(v, &fs), now + 5_000_000)
+                .converged_at()
+                .is_none(),
+            "the stranded walker keeps the line from ever spanning"
+        );
+        let pop = eng.to_population();
+        let stranded: Vec<usize> = (0..n)
+            .filter(|&u| *pop.state(u) == W && pop.edges().degree(u) == 0)
+            .collect();
+        assert!(!stranded.is_empty(), "a walker is stuck in `w` with no edges");
+    }
+
+    #[test]
     fn rides_sustained_churn_to_a_line_over_the_survivors() {
         let n = 10;
         let plan = ChurnPlan::new(13)

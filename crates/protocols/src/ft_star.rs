@@ -225,6 +225,46 @@ mod tests {
     }
 
     #[test]
+    fn survives_the_targeted_centre_crash_cadence() {
+        // The adaptive cadence that freezes plain Global-Star forever
+        // (global_star's `targeted_centre_crash_freezes_forever`):
+        // every `CrashMaxDegree` strike finds the elected centre —
+        // asserted by the star collapsing to zero active edges at each
+        // decision — and FT-Star's notify map re-mints the widowed
+        // spokes, so the star re-forms over the survivors every time.
+        use netcon_core::{AdversaryPlan, AdversaryPolicy, Cadence};
+        let n = 12;
+        let plan = FaultPlan::new(21).with_adversary(
+            AdversaryPlan::new(Cadence::Periodic {
+                start: 40_000,
+                every: 40_000,
+                count: 4,
+            })
+            .policy(AdversaryPolicy::CrashMaxDegree)
+            .min_alive(6),
+        );
+        let mut eng = Engine::auto_faulted(protocol().compile(), n, 7, plan);
+        for strike in 1..=4u64 {
+            eng.run_faulted_to(strike * 40_000);
+            let fs = eng.fault_state().expect("faulted").clone();
+            assert_eq!(fs.decisions_taken(), u32::try_from(strike).expect("small"));
+            assert_eq!(fs.alive_count(), n - strike as usize);
+            assert_eq!(
+                eng.to_population().edges().active_count(),
+                0,
+                "strike {strike} hit the centre: a stable star loses every edge"
+            );
+        }
+        let fs = eng.fault_state().expect("faulted").clone();
+        assert_eq!(fs.next_at(), None);
+        eng.run_faulted_until(|v, _| is_stable_faulted(v, &fs), u64::MAX)
+            .converged_at()
+            .expect("the star re-forms after the final targeted strike");
+        assert_eq!(fs.alive_count(), 8);
+        assert_eq!(eng.to_population().edges().active_count(), 7, "star over 8");
+    }
+
+    #[test]
     fn survives_a_mid_convergence_crash_burst() {
         // Crash two nodes *early* (draw 50), while many centres still
         // hold spokes: this exercises the fault-only `(c, c, 1)` rule

@@ -194,6 +194,41 @@ mod tests {
     }
 
     #[test]
+    fn targeted_centre_crash_freezes_forever() {
+        // `centre_crash_is_not_repaired` (above) needs the test to
+        // *look up* the elected centre and aim a scheduled crash at
+        // it. An adaptive `CrashMaxDegree` adversary needs no such
+        // help: at any stable star the centre is the unique
+        // max-degree node, so one decision draw provably finds and
+        // kills it — and the all-`p` survivors have no enabled rule,
+        // ever. The same cadence against FT-Star merely delays it
+        // (ft_star's `survives_the_targeted_centre_crash_cadence`).
+        use netcon_core::{AdversaryPlan, AdversaryPolicy, Cadence, Engine, FaultPlan};
+        let (n, seed) = (10, 4);
+        let plan = FaultPlan::new(8).with_adversary(
+            AdversaryPlan::new(Cadence::Burst(vec![200_000]))
+                .policy(AdversaryPolicy::CrashMaxDegree),
+        );
+        let mut eng = Engine::auto_faulted(protocol().compile(), n, seed, plan);
+        let fs0 = eng.fault_state().expect("faulted").clone();
+        eng.run_until(|v| is_stable_faulted(v, &fs0), 200_000)
+            .converged_at()
+            .expect("stabilizes well before the decision draw");
+        eng.run_faulted_to(200_000);
+        let fs = eng.fault_state().expect("faulted").clone();
+        assert_eq!(fs.decisions_taken(), 1);
+        assert_eq!(fs.alive_count(), n - 1, "exactly the centre crashed");
+        assert_eq!(
+            eng.to_population().edges().active_count(),
+            0,
+            "the strike found the centre: every spoke edge died with it"
+        );
+        let eff = eng.effective_steps();
+        eng.run_faulted_to(eng.steps() + 2_000_000);
+        assert_eq!(eng.effective_steps(), eff, "no rule fires among peripherals");
+    }
+
+    #[test]
     fn robust_under_fair_deterministic_schedulers() {
         let sim = Simulation::with_scheduler(protocol(), 12, 5, RoundRobin::new());
         netcon_core::testing::assert_stabilizes_sim(sim, is_stable, 10_000_000, 20_000);

@@ -516,7 +516,7 @@ mod faults {
     /// The fault-mode mirror of `assert_equivalent_5way`: uniform trio
     /// all ways, round trio against its naive loop, identical plans per
     /// trial.
-    fn assert_equivalent_5way_faulted(
+    pub(super) fn assert_equivalent_5way_faulted(
         name: &str,
         protocol: &RuleProtocol,
         stable: impl Fn(&Population<StateId>, &FaultState) -> bool + Copy,
@@ -919,6 +919,281 @@ mod faults {
 }
 
 // ---------------------------------------------------------------------
+// Adaptive adversaries: shared-plan paired statistics, coin-for-coin
+// stop/resume across decision draws, and brute-forced bookkeeping
+// after adaptive damage.
+// ---------------------------------------------------------------------
+
+mod adversary {
+    use super::*;
+    use netcon::core::{AdversaryPlan, AdversaryPolicy, Cadence, FaultEvent, FaultPlan};
+
+    #[test]
+    fn matching_under_adaptive_adversary_matches_across_engines() {
+        // Every trial hands every engine the *same* adversary (cadence,
+        // policies, floor) plus one scheduled arrival and one seeded
+        // random crash. Trajectories differ per engine (disjoint seed
+        // streams ⇒ different configurations at the decision draws ⇒
+        // different targeted damage), but the decision *times* and the
+        // policy are plan-determined, so all six engine/scheduler
+        // combos sample the identical adaptive process — the paired
+        // statistics must agree. The matching process stays convergent
+        // under every policy: widowed and cut `m` nodes are terminal,
+        // fresh `a` nodes pair up.
+        let plan = |s: u64| {
+            FaultPlan::new(s)
+                .at(150, FaultEvent::Arrive)
+                .at(500, FaultEvent::CrashRandom)
+                .with_adversary(
+                    AdversaryPlan::new(Cadence::Ramp {
+                        start: 80,
+                        first_gap: 160,
+                        min_gap: 40,
+                        count: 3,
+                    })
+                    .policy(AdversaryPolicy::CrashMaxDegree)
+                    .policy(AdversaryPolicy::CutBridge)
+                    .min_alive(24),
+                )
+        };
+        let a = StateId::new(0);
+        super::faults::assert_equivalent_5way_faulted(
+            "Maximum-Matching/adversary",
+            &matching_protocol(),
+            move |q, fs| {
+                (0..q.n())
+                    .filter(|&u| fs.is_alive(u) && *q.state(u) == a)
+                    .count()
+                    <= 1
+            },
+            |sp, fs| {
+                (0..sp.n())
+                    .filter(|&u| fs.is_alive(u) && sp.state_index(u) == 0)
+                    .count()
+                    <= 1
+            },
+            plan,
+            32,
+            3_000,
+        );
+    }
+
+    /// Stop/resume across *decision* draws is coin-for-coin identical:
+    /// interrupting exactly at (and between) the adversary's decision
+    /// times must reproduce the bit-exact trajectory, because a resumed
+    /// engine re-derives the same configuration snapshot and the pure
+    /// policy re-emits the same damage. FT-star makes every strike also
+    /// exercise the crash-notification remap.
+    #[test]
+    fn stop_resume_at_decision_draws_is_coin_for_coin_identical() {
+        use netcon::protocols::ft_star;
+        let p = ft_star::protocol();
+        let compiled = p.compile();
+        let n = 14;
+        let plan = || {
+            FaultPlan::new(41)
+                .at(260, FaultEvent::Arrive)
+                .with_adversary(
+                    AdversaryPlan::new(Cadence::Burst(vec![120, 340, 560]))
+                        .policy(AdversaryPolicy::CrashMaxDegree)
+                        .min_alive(6),
+                )
+        };
+        let mut stops = plan().boundary_times();
+        assert_eq!(stops, vec![120, 260, 340, 560], "events and decisions merge");
+        stops.push(900);
+        let end = 900;
+        type Fp = (u64, u64, u64, Vec<StateId>, Vec<(usize, usize)>);
+        let fp = |pop: &Population<StateId>, steps: u64, eff: u64, ev: u64| -> Fp {
+            let states = (0..pop.n()).map(|u| *pop.state(u)).collect();
+            let edges = pop.edges().active_edges().collect();
+            (steps, eff, ev, states, edges)
+        };
+
+        let mut a = EventSim::new_faulted(compiled.clone(), n, 23, plan());
+        a.run_faulted_to(end);
+        let mut b = EventSim::new_faulted(compiled.clone(), n, 23, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            a.fault_state().expect("faulted").decisions_taken(),
+            3,
+            "all decisions fired"
+        );
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "EventSim/adversary"
+        );
+
+        let mut a = BucketSim::new_faulted(compiled.clone(), n, 23, plan());
+        a.run_faulted_to(end);
+        let mut b = BucketSim::new_faulted(compiled.clone(), n, 23, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(&a.to_population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(&b.to_population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "BucketSim/adversary"
+        );
+
+        let mut a = RoundSim::new_faulted(compiled.clone(), n, 23, plan());
+        a.run_faulted_to(end);
+        let mut b = RoundSim::new_faulted(compiled.clone(), n, 23, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "RoundSim/adversary"
+        );
+
+        let mut a = RoundBucketSim::new_faulted(compiled.clone(), n, 23, plan());
+        a.run_faulted_to(end);
+        let mut b = RoundBucketSim::new_faulted(compiled, n, 23, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert!(a.pool_invariant_holds() && b.pool_invariant_holds());
+        assert_eq!(
+            fp(&a.to_population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(&b.to_population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "RoundBucketSim/adversary"
+        );
+
+        let mut a = Simulation::new_faulted(p.clone(), n, 23, plan());
+        a.run_faulted_to(end);
+        let mut b = Simulation::new_faulted(p.clone(), n, 23, plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "Simulation/uniform/adversary"
+        );
+
+        let mut a =
+            Simulation::with_scheduler_faulted(p.clone(), n, 23, ShuffledRounds::new(), plan());
+        a.run_faulted_to(end);
+        let mut b = Simulation::with_scheduler_faulted(p, n, 23, ShuffledRounds::new(), plan());
+        for &s in &stops {
+            b.run_faulted_to(s);
+        }
+        assert_eq!(
+            fp(a.population(), a.steps(), a.effective_steps(), a.edge_events()),
+            fp(b.population(), b.steps(), b.effective_steps(), b.edge_events()),
+            "Simulation/shuffled-rounds/adversary"
+        );
+    }
+
+    mod bookkeeping {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Adaptive damage rides the same `ResolvedFault` path as
+            /// scheduled events, so after any cadence / policy-set /
+            /// budget / floor combination (interleaved with random
+            /// scheduled faults), every engine's incremental candidate
+            /// structure must equal a brute-force recomputation over
+            /// the alive population — the adaptive mirror of
+            /// `fault_bookkeeping::candidate_structures_track_faults_exactly`.
+            #[test]
+            fn candidate_structures_track_adaptive_damage_exactly(
+                n in 4usize..14,
+                seed in any::<u64>(),
+                plan_seed in any::<u64>(),
+                choices in proptest::collection::vec((0u64..220, any::<u8>()), 0..4),
+                cadence_kind in 0u8..3,
+                start in 0u64..200,
+                gap in 1u64..90,
+                count in 1u32..5,
+                policy_mask in 1u8..16,
+                budget_sel in 0u64..12,
+                floor_sel in 0usize..8,
+            ) {
+                // The vendored proptest has no Option strategy; fold
+                // None into the upper half of a plain range.
+                let budget = (budget_sel < 6).then_some(budget_sel);
+                let floor = (floor_sel < 4).then(|| 2 + floor_sel);
+                let cadence = match cadence_kind {
+                    0 => Cadence::Periodic { start, every: gap, count },
+                    1 => Cadence::Burst(
+                        (0..u64::from(count)).map(|k| start + k * gap).collect(),
+                    ),
+                    _ => Cadence::Ramp {
+                        start,
+                        first_gap: gap,
+                        min_gap: 1 + gap / 4,
+                        count,
+                    },
+                };
+                let mut adv = AdversaryPlan::new(cadence);
+                let all = [
+                    AdversaryPolicy::CrashMaxDegree,
+                    AdversaryPolicy::CrashState(1),
+                    AdversaryPolicy::CutBridge,
+                    AdversaryPolicy::CutAtWalker(1),
+                ];
+                for (i, &pol) in all.iter().enumerate() {
+                    if policy_mask & (1 << i) != 0 {
+                        adv = adv.policy(pol);
+                    }
+                }
+                if let Some(b) = budget {
+                    adv = adv.budget(b);
+                }
+                if let Some(f) = floor {
+                    adv = adv.min_alive(f);
+                }
+                let plan = super::super::fault_bookkeeping::plan_from(&choices, plan_seed)
+                    .with_adversary(adv);
+
+                let p = super::matching_protocol().compile();
+                let mut ev = EventSim::new_faulted(p.clone(), n, seed, plan.clone());
+                let mut bu = BucketSim::new_faulted(p.clone(), n, seed, plan.clone());
+                let mut rs = RoundSim::new_faulted(p.clone(), n, seed, plan.clone());
+                let mut rb = RoundBucketSim::new_faulted(p.clone(), n, seed, plan);
+
+                for target in [120u64, 260, 520] {
+                    ev.run_faulted_to(target);
+                    bu.run_faulted_to(target);
+                    rs.run_faulted_to(target);
+                    rb.run_faulted_to(target);
+
+                    let brute = super::super::fault_bookkeeping::brute;
+                    let (exact_e, _) =
+                        brute(&p, ev.population(), ev.fault_state().expect("faulted"));
+                    prop_assert_eq!(2 * ev.effective_pairs() as u64, exact_e);
+
+                    let bp = bu.to_population();
+                    let bfs = bu.fault_state().expect("faulted").clone();
+                    let (_, maybe_b) = brute(&p, &bp, &bfs);
+                    prop_assert_eq!(bu.candidate_weight(), maybe_b);
+
+                    let (exact_r, _) =
+                        brute(&p, rs.population(), rs.fault_state().expect("faulted"));
+                    prop_assert_eq!(2 * rs.effective_pairs() as u64, exact_r);
+                    prop_assert!(rs.pool_invariant_holds());
+
+                    let rbp = rb.to_population();
+                    let rbfs = rb.fault_state().expect("faulted").clone();
+                    let (exact_q, _) = brute(&p, &rbp, &rbfs);
+                    prop_assert_eq!(2 * rb.effective_pairs(), exact_q);
+                    prop_assert!(rb.unscheduled_candidates() <= rb.effective_pairs());
+                    prop_assert!(rb.pool_invariant_holds());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Brute-force candidate recomputation under random fault sequences.
 // ---------------------------------------------------------------------
 
@@ -928,7 +1203,7 @@ mod fault_bookkeeping {
     use netcon::core::{FaultEvent, FaultPlan, FaultState};
     use proptest::prelude::*;
 
-    fn plan_from(choices: &[(u64, u8)], seed: u64) -> FaultPlan {
+    pub(super) fn plan_from(choices: &[(u64, u8)], seed: u64) -> FaultPlan {
         let mut plan = FaultPlan::new(seed);
         let mut crashes = 0;
         for &(at, kind) in choices {
@@ -954,7 +1229,7 @@ mod fault_bookkeeping {
     /// (`can_affect(·, ·, Off)` union active-`On`), recomputed from
     /// scratch — the ground truth each engine's incremental fault
     /// bookkeeping must match.
-    fn brute(
+    pub(super) fn brute(
         p: &netcon::core::CompiledTable,
         pop: &Population<StateId>,
         fs: &FaultState,

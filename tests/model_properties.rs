@@ -104,3 +104,93 @@ proptest! {
         prop_assert!(sim.last_output_change() <= steps);
     }
 }
+
+mod churn_plans {
+    use super::*;
+    use netcon::core::{AdversaryPlan, AdversaryPolicy, Cadence, ChurnPlan, EventSim};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Horizon extension appends, never rewrites: the stream is
+        /// generated front-to-back by one sequential RNG, so compiling
+        /// the same knobs with `h1 < h2` yields an event-stream prefix
+        /// — what makes "sweep the horizon" experiments comparable
+        /// across rungs.
+        #[test]
+        fn churn_horizon_extension_appends_never_rewrites(
+            seed in any::<u64>(),
+            n in 2usize..20,
+            arrival in 0u32..40,
+            departure in 0u32..40,
+            h1 in 1u64..30_000,
+            extra in 0u64..30_000,
+        ) {
+            let arrival = f64::from(arrival) * 1e-5;
+            let departure = f64::from(departure) * 1e-5;
+            prop_assume!(arrival + departure > 0.0);
+            let mk = |h: u64| {
+                ChurnPlan::new(seed)
+                    .arrival_rate(arrival)
+                    .departure_rate(departure)
+                    .horizon(h)
+                    .compile(n)
+            };
+            let short = mk(h1);
+            let long = mk(h1 + extra);
+            let se = short.events();
+            let le = long.events();
+            prop_assert!(se.len() <= le.len(), "extension only appends");
+            prop_assert_eq!(se, &le[..se.len()], "shorter horizon is a prefix");
+        }
+
+        /// The `min_alive` floor survives composition: a churn stream's
+        /// plan-level floor gates its own scheduled crashes AND every
+        /// adaptive strike of an attached adversary (the effective
+        /// decision floor is the max of the two), so the alive count
+        /// never drops below `min(n, floor)` at any boundary or after
+        /// the stream ends — regardless of the adversary's own, possibly
+        /// weaker, floor.
+        #[test]
+        fn min_alive_floor_survives_adversary_and_churn_composition(
+            seed in any::<u64>(),
+            eng_seed in any::<u64>(),
+            n in 4usize..16,
+            floor in 2usize..8,
+            adv_floor in 0usize..8,
+            every in 20u64..200,
+            count in 1u32..6,
+        ) {
+            let plan = ChurnPlan::new(seed)
+                .arrival_rate(3e-4)
+                .departure_rate(2e-3)
+                .min_alive(floor)
+                .horizon(5_000)
+                .compile(n)
+                .with_adversary(
+                    AdversaryPlan::new(Cadence::Periodic { start: every, every, count })
+                        .policy(AdversaryPolicy::CrashMaxDegree)
+                        .policy(AdversaryPolicy::CrashState(0))
+                        .min_alive(adv_floor),
+                );
+            let guarantee = floor.min(n);
+            let mut b = ProtocolBuilder::new("matching");
+            let a = b.state("a");
+            let m = b.state("m");
+            b.rule((a, a, Link::Off), (m, m, Link::On));
+            let p = b.build().expect("valid");
+            let mut sim = EventSim::new_faulted(p.compile(), n, eng_seed, plan.clone());
+            let mut checkpoints = plan.boundary_times();
+            checkpoints.push(6_000);
+            for t in checkpoints {
+                sim.run_faulted_to(t);
+                let alive = sim.fault_state().expect("faulted").alive_count();
+                prop_assert!(
+                    alive >= guarantee,
+                    "floor breached at draw {}: alive {} < {}",
+                    t, alive, guarantee
+                );
+            }
+        }
+    }
+}
